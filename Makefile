@@ -1,0 +1,37 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench bench-quick examples experiments clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Full experiment tables + Bechamel timings (≈ 2-3 min)
+bench:
+	dune exec bench/main.exe
+
+bench-quick:
+	dune exec bench/main.exe -- --quick
+
+# Dump every experiment table as CSV into ./results
+csv:
+	mkdir -p results
+	dune exec bench/main.exe -- --no-bench --csv results
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/crash_tolerance.exe
+	dune exec examples/adversarial_chain.exe
+	dune exec examples/renaming_c3.exe
+	dune exec examples/general_graphs.exe
+	dune exec examples/model_separation.exe
+
+experiments:
+	dune exec bin/asyncolor_cli.exe -- experiments
+
+clean:
+	dune clean
