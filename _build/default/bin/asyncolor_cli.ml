@@ -1,0 +1,346 @@
+(* asyncolor — command-line front end.
+
+   Subcommands:
+     run          one execution of an algorithm on a topology, with a chosen
+                  identifier workload and adversary; prints the colouring
+     sweep        rounds-vs-n table for an algorithm over the adversary suite
+     check        exhaustive model checking on a small cycle
+     experiments  run the reproduction experiments (DESIGN.md index)      *)
+
+module Adversary = Asyncolor_kernel.Adversary
+module Prng = Asyncolor_util.Prng
+module Graph = Asyncolor_topology.Graph
+module Builders = Asyncolor_topology.Builders
+module Idents = Asyncolor_workload.Idents
+module Table = Asyncolor_workload.Table
+module Checker = Asyncolor.Checker
+module Color = Asyncolor.Color
+
+let make_idents ~kind ~seed n =
+  match kind with
+  | "increasing" -> Idents.increasing n
+  | "decreasing" -> Idents.decreasing n
+  | "zigzag" -> Idents.zigzag n
+  | "random" -> Idents.random_permutation (Prng.create ~seed) n
+  | "sparse" -> Idents.random_sparse (Prng.create ~seed) ~n ~universe:(max 64 (n * n))
+  | "bit-adversarial" -> Idents.bit_adversarial n
+  | k -> failwith (Printf.sprintf "unknown identifier workload %S" k)
+
+let make_adversary ~kind ~seed ~n =
+  match String.split_on_char ':' kind with
+  | [ "sync" ] -> Adversary.synchronous
+  | [ "seq" ] -> Adversary.sequential
+  | [ "rr" ] -> Adversary.round_robin
+  | [ "singletons" ] -> Adversary.singletons (Prng.create ~seed)
+  | [ "staircase" ] -> Adversary.staircase
+  | [ "waves" ] -> Adversary.alternating_waves
+  | [ "random"; p ] -> Adversary.random_subsets (Prng.create ~seed) ~p:(float_of_string p)
+  | [ "crash"; rate ] ->
+      Adversary.random_crashes (Prng.create ~seed) ~n ~rate:(float_of_string rate)
+        ~horizon:20 (Adversary.random_subsets (Prng.create ~seed:(seed + 1)) ~p:0.7)
+  | _ ->
+      failwith
+        (Printf.sprintf
+           "unknown adversary %S (try sync, seq, rr, singletons, staircase, waves, \
+            random:P, crash:RATE)"
+           kind)
+
+let make_graph ~kind ~seed n =
+  match kind with
+  | "cycle" -> Builders.cycle n
+  | "path" -> Builders.path n
+  | "complete" -> Builders.complete n
+  | "star" -> Builders.star n
+  | "petersen" -> Builders.petersen ()
+  | "hypercube" -> Builders.hypercube n
+  | "random3" -> Builders.random_regular (Prng.create ~seed) ~n ~d:3
+  | k -> failwith (Printf.sprintf "unknown graph %S" k)
+
+(* Dispatch over the four algorithms, erasing the differing output types
+   into strings for display. *)
+module Show (P : Asyncolor_kernel.Protocol.S) = struct
+  module E = Asyncolor_kernel.Engine.Make (P)
+
+  let run ~pp_output ~equal ~in_palette ~graph ~idents ~adv ~max_steps ~verbose =
+    let engine = E.create ~record_trace:verbose graph ~idents in
+    let r = E.run ~max_steps engine adv in
+    let verdict = Checker.check ~equal ~in_palette graph r.outputs in
+    if verbose then Format.printf "%a@.@." E.pp_spacetime engine;
+    if verbose then
+      List.iter
+        (fun (e : E.event) ->
+          Printf.printf "t=%-4d activated={%s}%s\n" e.time
+            (String.concat "," (List.map string_of_int e.activated))
+            (match e.returned with
+            | [] -> ""
+            | l ->
+                " returned: "
+                ^ String.concat ", "
+                    (List.map (fun (p, o) -> Printf.sprintf "p%d=%s" p (pp_output o)) l)))
+        (E.trace engine);
+    Array.iteri
+      (fun p out ->
+        Printf.printf "p%-4d id=%-8d %s\n" p idents.(p)
+          (match out with
+          | Some o -> "colour " ^ pp_output o
+          | None -> "did not return (crashed or cut off)"))
+      r.outputs;
+    Printf.printf
+      "steps=%d rounds(max activations)=%d all_returned=%b proper=%b palette_ok=%b \
+       distinct=%d\n"
+      r.steps r.rounds r.all_returned verdict.Checker.proper
+      (verdict.Checker.off_palette = [])
+      verdict.Checker.distinct_colors;
+    if not (Checker.ok verdict) then (
+      Format.printf "VIOLATION: %a@." Checker.pp verdict;
+      exit 1)
+end
+
+module Show1 = Show (Asyncolor.Algorithm1.P)
+module Show2 = Show (Asyncolor.Algorithm2.P)
+module Show3 = Show (Asyncolor.Algorithm3.P)
+module Show4 = Show (Asyncolor.Algorithm4.P)
+
+let run_algorithm ~alg ~graph ~idents ~adv ~max_steps ~verbose =
+  let pair_pp (a, b) = Printf.sprintf "(%d,%d)" a b in
+  match alg with
+  | 1 ->
+      Show1.run ~pp_output:pair_pp
+        ~equal:(fun a b -> a = b)
+        ~in_palette:(Color.pair_in_palette ~budget:2)
+        ~graph ~idents ~adv ~max_steps ~verbose
+  | 2 ->
+      Show2.run ~pp_output:string_of_int ~equal:Int.equal ~in_palette:Color.in_five
+        ~graph ~idents ~adv ~max_steps ~verbose
+  | 3 ->
+      Show3.run ~pp_output:string_of_int ~equal:Int.equal ~in_palette:Color.in_five
+        ~graph ~idents ~adv ~max_steps ~verbose
+  | 4 ->
+      Show4.run ~pp_output:pair_pp
+        ~equal:(fun a b -> a = b)
+        ~in_palette:(Asyncolor.Algorithm4.in_palette ~max_degree:(Graph.max_degree graph))
+        ~graph ~idents ~adv ~max_steps ~verbose
+  | n -> failwith (Printf.sprintf "unknown algorithm %d (1-4)" n)
+
+open Cmdliner
+
+let alg_arg =
+  Arg.(value & opt int 3 & info [ "a"; "algorithm" ] ~docv:"N" ~doc:"Algorithm 1-4.")
+
+let n_arg = Arg.(value & opt int 12 & info [ "n" ] ~docv:"N" ~doc:"Number of nodes.")
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.")
+
+let idents_arg =
+  Arg.(
+    value
+    & opt string "random"
+    & info [ "i"; "idents" ] ~docv:"KIND"
+        ~doc:
+          "Identifier workload: increasing, decreasing, zigzag, random, sparse, \
+           bit-adversarial.")
+
+let adv_arg =
+  Arg.(
+    value
+    & opt string "random:0.5"
+    & info [ "d"; "adversary" ] ~docv:"KIND"
+        ~doc:"Schedule: sync, seq, rr, singletons, staircase, waves, random:P, crash:RATE.")
+
+let graph_arg =
+  Arg.(
+    value
+    & opt string "cycle"
+    & info [ "g"; "graph" ] ~docv:"KIND"
+        ~doc:"Topology: cycle, path, complete, star, petersen, hypercube, random3.")
+
+let max_steps_arg =
+  Arg.(value & opt int 1_000_000 & info [ "max-steps" ] ~doc:"Schedule length cap.")
+
+let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the trace.")
+
+let run_cmd =
+  let doc = "run one execution and print the colouring" in
+  let f alg n seed idents_kind adv_kind graph_kind max_steps verbose =
+    let graph = make_graph ~kind:graph_kind ~seed n in
+    let n = Graph.n graph in
+    let idents = make_idents ~kind:idents_kind ~seed n in
+    let adv = make_adversary ~kind:adv_kind ~seed ~n in
+    run_algorithm ~alg ~graph ~idents ~adv ~max_steps ~verbose
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const f $ alg_arg $ n_arg $ seed_arg $ idents_arg $ adv_arg $ graph_arg
+      $ max_steps_arg $ verbose_arg)
+
+let sweep_cmd =
+  let doc = "rounds-vs-n table over the adversary suite" in
+  let sizes_arg =
+    Arg.(
+      value
+      & opt (list int) [ 4; 8; 16; 32; 64; 128 ]
+      & info [ "sizes" ] ~docv:"N,N,..." ~doc:"Cycle sizes.")
+  in
+  let f alg seed idents_kind sizes =
+    let table = Table.create ~headers:[ "n"; "worst rounds"; "locked schedules" ] in
+    List.iter
+      (fun n ->
+        let graph = Builders.cycle n in
+        let idents = make_idents ~kind:idents_kind ~seed n in
+        let suite = Asyncolor_experiments.Harness.adversary_suite ~seed ~n in
+        let summary =
+          match alg with
+          | 1 ->
+              let module S = Asyncolor_experiments.Harness.Sweep (Asyncolor.Algorithm1.P) in
+              S.run
+                ~equal:(fun a b -> a = b)
+                ~in_palette:(Color.pair_in_palette ~budget:2) ~graph ~idents suite
+          | 2 ->
+              let module S = Asyncolor_experiments.Harness.Sweep (Asyncolor.Algorithm2.P) in
+              S.run ~equal:Int.equal ~in_palette:Color.in_five ~graph ~idents suite
+          | 3 ->
+              let module S = Asyncolor_experiments.Harness.Sweep (Asyncolor.Algorithm3.P) in
+              S.run ~equal:Int.equal ~in_palette:Color.in_five ~graph ~idents suite
+          | n -> failwith (Printf.sprintf "sweep supports algorithms 1-3, not %d" n)
+        in
+        Table.add_row table
+          [
+            string_of_int n;
+            string_of_int summary.worst_rounds;
+            String.concat ";" summary.livelocked_names;
+          ])
+      sizes;
+    Table.print table
+  in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(const f $ alg_arg $ seed_arg $ idents_arg $ sizes_arg)
+
+let check_cmd =
+  let doc = "exhaustively model-check a small cycle over all schedules" in
+  let idents_csv =
+    Arg.(
+      value
+      & opt (list int) [ 5; 1; 9 ]
+      & info [ "idents" ] ~docv:"X,X,..." ~doc:"Identifiers around the cycle.")
+  in
+  let mode_arg =
+    Arg.(
+      value
+      & opt (enum [ ("simultaneous", `All_subsets); ("interleaved", `Singletons) ])
+          `All_subsets
+      & info [ "mode" ] ~doc:"Schedule space: simultaneous (full model) or interleaved.")
+  in
+  let f alg idents mode =
+    let idents = Array.of_list idents in
+    let n = Array.length idents in
+    if n < 3 then failwith "need at least 3 identifiers";
+    if n > 6 then failwith "exhaustive checking beyond n=6 is infeasible";
+    let graph = Builders.cycle n in
+    let go (type s r o) (module P : Asyncolor_kernel.Protocol.S
+          with type state = s and type register = r and type output = o) check_outputs =
+      let module Exp = Asyncolor_check.Explorer.Make (P) in
+      let r = Exp.explore ~mode graph ~idents ~check_outputs in
+      Format.printf "%a@." Exp.pp_report r;
+      (match r.livelock with
+      | Some v ->
+          Format.printf "lasso schedule: %s@."
+            (String.concat " "
+               (List.map
+                  (fun l -> "{" ^ String.concat "," (List.map string_of_int l) ^ "}")
+                  v.schedule))
+      | None -> ());
+      List.iter (fun (v : Exp.violation) -> Format.printf "violation: %s@." v.message) r.safety
+    in
+    let coloring_check in_palette outs =
+      let v = Checker.check ~equal:(fun a b -> a = b) ~in_palette graph outs in
+      if Checker.ok v then None else Some (Format.asprintf "%a" Checker.pp v)
+    in
+    match alg with
+    | 1 -> go (module Asyncolor.Algorithm1.P) (coloring_check (Color.pair_in_palette ~budget:2))
+    | 2 -> go (module Asyncolor.Algorithm2.P) (coloring_check Color.in_five)
+    | 3 -> go (module Asyncolor.Algorithm3.P) (coloring_check Color.in_five)
+    | n -> failwith (Printf.sprintf "check supports algorithms 1-3, not %d" n)
+  in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const f $ alg_arg $ idents_csv $ mode_arg)
+
+let lockhunt_cmd =
+  let doc = "attack every adjacent pair with the isolate-pair schedule (finding F1)" in
+  let f alg n seed idents_kind =
+    let graph = Builders.cycle n in
+    let idents = make_idents ~kind:idents_kind ~seed n in
+    let table = Table.create ~headers:[ "pair"; "locked"; "steps"; "pair activations" ] in
+    let report (findings : (int * int) list) total =
+      Printf.printf "%d/%d pairs lock\n" (List.length findings) total
+    in
+    let hunt (type s r) (module P : Asyncolor_kernel.Protocol.S
+          with type state = s and type register = r) =
+      let module H = Asyncolor_check.Lockhunt.Make (P) in
+      let findings = H.hunt graph ~idents in
+      List.iter
+        (fun (f : H.finding) ->
+          if f.locked then
+            Table.add_row table
+              [
+                Printf.sprintf "(%d,%d)" (fst f.pair) (snd f.pair);
+                "yes";
+                string_of_int f.steps;
+                Printf.sprintf "(%d,%d)" (fst f.pair_activations) (snd f.pair_activations);
+              ])
+        findings;
+      report (H.locked findings) (List.length findings)
+    in
+    (match alg with
+    | 1 -> hunt (module Asyncolor.Algorithm1.P)
+    | 2 -> hunt (module Asyncolor.Algorithm2.P)
+    | 3 -> hunt (module Asyncolor.Algorithm3.P)
+    | n -> failwith (Printf.sprintf "lockhunt supports algorithms 1-3, not %d" n));
+    Table.print table
+  in
+  Cmd.v (Cmd.info "lockhunt" ~doc) Term.(const f $ alg_arg $ n_arg $ seed_arg $ idents_arg)
+
+let replay_cmd =
+  let doc = "replay an explicit schedule (e.g. a lasso printed by check)" in
+  let sched_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "schedule" ] ~docv:"SCHED" ~doc:"Schedule, e.g. \"{0} {1} {1,2}\".")
+  in
+  let f alg n seed idents_kind sched verbose =
+    let graph = Builders.cycle n in
+    let idents = make_idents ~kind:idents_kind ~seed n in
+    let adv = Adversary.finite (Adversary.parse sched) in
+    run_algorithm ~alg ~graph ~idents ~adv ~max_steps:1_000_000 ~verbose
+  in
+  Cmd.v (Cmd.info "replay" ~doc)
+    Term.(const f $ alg_arg $ n_arg $ seed_arg $ idents_arg $ sched_arg $ verbose_arg)
+
+let experiments_cmd =
+  let doc = "run the reproduction experiments (E1-E13)" in
+  let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sizes.") in
+  let only_arg =
+    Arg.(value & opt (some string) None & info [ "only" ] ~docv:"ID" ~doc:"Run one experiment.")
+  in
+  let f quick only =
+    match only with
+    | None ->
+        let outcomes = Asyncolor_experiments.Registry.run_all ~quick () in
+        if not (Asyncolor_experiments.Outcome.all_ok outcomes) then exit 1
+    | Some id -> (
+        match Asyncolor_experiments.Registry.find id with
+        | None ->
+            Printf.eprintf "no experiment %S\n" id;
+            exit 2
+        | Some e ->
+            let outcome = e.run ~quick () in
+            Asyncolor_experiments.Outcome.print outcome;
+            if not outcome.ok then exit 1)
+  in
+  Cmd.v (Cmd.info "experiments" ~doc) Term.(const f $ quick_arg $ only_arg)
+
+let () =
+  let doc = "wait-free colouring of the asynchronous cycle (PODC 2022 reproduction)" in
+  let info = Cmd.info "asyncolor" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; sweep_cmd; check_cmd; lockhunt_cmd; replay_cmd; experiments_cmd ]))

@@ -1,0 +1,1 @@
+examples/renaming_c3.ml: Array Asyncolor Asyncolor_check Asyncolor_kernel Asyncolor_shm Asyncolor_topology Hashtbl List Printf String

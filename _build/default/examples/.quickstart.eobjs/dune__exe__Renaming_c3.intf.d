@@ -1,0 +1,1 @@
+examples/renaming_c3.mli:

@@ -1,0 +1,33 @@
+(* The paper's headline, §4: why identifier reduction matters.
+
+   When identifiers increase monotonically around the ring, Algorithms 1-2
+   converge only as fast as information can creep along the chain — Θ(n)
+   activations.  Algorithm 3 shrinks the identifiers Cole-Vishkin-style in
+   parallel with the colouring, collapsing every monotone chain to length
+   < 10 within O(log* n) rounds.  Same workload, same schedules.
+
+   Run with: dune exec examples/adversarial_chain.exe *)
+
+module Adversary = Asyncolor_kernel.Adversary
+module Table = Asyncolor_workload.Table
+module Logstar = Asyncolor_cv.Logstar
+
+let () =
+  let table =
+    Table.create ~headers:[ "n"; "log* n"; "alg1 rounds"; "alg2 rounds"; "alg3 rounds" ]
+  in
+  List.iter
+    (fun n ->
+      let idents = Asyncolor_workload.Idents.increasing n in
+      let r1 = Asyncolor.Algorithm1.run_on_cycle ~idents Adversary.synchronous in
+      let r2 = Asyncolor.Algorithm2.run_on_cycle ~idents Adversary.synchronous in
+      let r3 = Asyncolor.Algorithm3.run_on_cycle ~idents Adversary.synchronous in
+      assert (r1.all_returned && r2.all_returned && r3.all_returned);
+      Table.add_row table
+        (Table.row_int [ n; Logstar.log_star_int n; r1.rounds; r2.rounds; r3.rounds ]))
+    [ 8; 16; 32; 64; 128; 256; 512; 1024; 4096; 16384 ];
+  print_endline "monotone identifier chain (worst case for Algorithms 1-2):\n";
+  Table.print table;
+  print_endline
+    "\nAlgorithms 1-2 grow linearly; Algorithm 3 tracks log* n — at n=16384 the\n\
+     whole ring 5-colours itself asynchronously in a handful of activations."

@@ -1,0 +1,1 @@
+lib/check/adaptive.ml: Asyncolor_kernel Asyncolor_topology List Option Printf

@@ -1,0 +1,1 @@
+lib/check/adaptive.mli: Asyncolor_kernel Asyncolor_topology

@@ -1,0 +1,1 @@
+lib/check/explorer.ml: Array Asyncolor_kernel Asyncolor_topology Format Hashtbl List Map Printf Queue

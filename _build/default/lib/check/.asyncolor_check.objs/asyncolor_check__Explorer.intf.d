@@ -1,0 +1,1 @@
+lib/check/explorer.mli: Asyncolor_kernel Asyncolor_topology Format

@@ -1,0 +1,1 @@
+lib/check/lockhunt.ml: Array Asyncolor_kernel Asyncolor_topology List

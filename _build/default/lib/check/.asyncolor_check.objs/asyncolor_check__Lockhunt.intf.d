@@ -1,0 +1,1 @@
+lib/check/lockhunt.mli: Asyncolor_kernel Asyncolor_topology

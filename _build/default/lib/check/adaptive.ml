@@ -1,0 +1,63 @@
+module Graph = Asyncolor_topology.Graph
+module Adversary = Asyncolor_kernel.Adversary
+module Status = Asyncolor_kernel.Status
+
+module Make (P : Asyncolor_kernel.Protocol.S) = struct
+  module E = Asyncolor_kernel.Engine.Make (P)
+
+  let returned_count scratch =
+    let n = E.n scratch in
+    let c = ref 0 in
+    for p = 0 to n - 1 do
+      if Status.is_returned (E.status scratch p) then incr c
+    done;
+    !c
+
+  let adversary ?(mode = `Singletons) graph ~idents engine =
+    let scratch = E.create graph ~idents in
+    let candidates unfinished =
+      match mode with
+      | `Singletons -> List.map (fun p -> [ p ]) unfinished
+      | `All_subsets ->
+          let singles = List.map (fun p -> [ p ]) unfinished in
+          let pairs =
+            Graph.fold_edges
+              (fun u v acc ->
+                if List.mem u unfinished && List.mem v unfinished then
+                  [ u; v ] :: acc
+                else acc)
+              graph []
+          in
+          (unfinished :: pairs) @ singles
+    in
+    Adversary.make ~name:(Printf.sprintf "adaptive-greedy(%s)" P.name)
+      (fun ~time:_ ~unfinished ->
+        match unfinished with
+        | [] -> None
+        | _ ->
+            let base = E.snapshot engine in
+            let before = List.length (E.config_unfinished base) in
+            (* score = processes returning if this set is played; pick the
+               minimum, tie-break on larger sets (more wasted work) *)
+            let best = ref None in
+            List.iter
+              (fun set ->
+                E.restore scratch base;
+                E.activate scratch set;
+                let score = before - List.length (E.unfinished scratch) in
+                ignore (returned_count scratch);
+                let better =
+                  match !best with
+                  | None -> true
+                  | Some (s, l, _) ->
+                      score < s || (score = s && List.length set > l)
+                in
+                if better then best := Some (score, List.length set, set))
+              (candidates unfinished);
+            Option.map (fun (_, _, set) -> set) !best)
+
+  let worst_rounds ?mode ?(max_steps = 10_000) graph ~idents =
+    let engine = E.create graph ~idents in
+    let adv = adversary ?mode graph ~idents engine in
+    E.run ~max_steps engine adv
+end

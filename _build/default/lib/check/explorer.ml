@@ -1,0 +1,218 @@
+module Make (P : Asyncolor_kernel.Protocol.S) = struct
+  module E = Asyncolor_kernel.Engine.Make (P)
+
+  module CMap = Map.Make (struct
+    type t = E.config
+
+    let compare = E.config_compare
+  end)
+
+  type violation = { message : string; schedule : int list list }
+
+  type report = {
+    configs : int;
+    transitions : int;
+    terminal_configs : int;
+    complete : bool;
+    wait_free : bool;
+    livelock : violation option;
+    safety : violation list;
+    worst_case_activations : int;
+  }
+
+  (* Parent pointers give, for every configuration, one schedule prefix
+     that reaches it. *)
+  let schedule_to parents id =
+    let rec loop id acc =
+      match parents.(id) with
+      | None -> acc
+      | Some (pred, subset) -> loop pred (subset :: acc)
+    in
+    loop id []
+
+  let subsets_of mode procs =
+    match (mode, procs) with
+    | _, [] -> []
+    | `Singletons, procs -> List.map (fun p -> [ p ]) procs
+    | `All_subsets, procs ->
+        let procs = Array.of_list procs in
+        let k = Array.length procs in
+        List.init ((1 lsl k) - 1) (fun m ->
+            let mask = m + 1 in
+            let acc = ref [] in
+            for i = k - 1 downto 0 do
+              if mask land (1 lsl i) <> 0 then acc := procs.(i) :: !acc
+            done;
+            !acc)
+
+  let explore ?(max_configs = 500_000) ?(max_violations = 5) ?(mode = `All_subsets)
+      ?check_outputs ?check_config graph ~idents =
+    let n = Asyncolor_topology.Graph.n graph in
+    let engine = E.create graph ~idents in
+    let initial = E.snapshot engine in
+    (* id assignment and storage *)
+    let ids = ref CMap.empty in
+    let store : (int, E.config) Hashtbl.t = Hashtbl.create 1024 in
+    let adj : (int, (int list * int) list) Hashtbl.t = Hashtbl.create 1024 in
+    let parents_tbl : (int, (int * int list) option) Hashtbl.t = Hashtbl.create 1024 in
+    let next_id = ref 0 in
+    let transitions = ref 0 in
+    let terminal = ref 0 in
+    let safety = ref [] in
+    let n_safety = ref 0 in
+    let complete = ref true in
+    let intern config =
+      match CMap.find_opt config !ids with
+      | Some id -> (id, false)
+      | None ->
+          let id = !next_id in
+          incr next_id;
+          ids := CMap.add config id !ids;
+          Hashtbl.replace store id config;
+          if E.config_unfinished config = [] then incr terminal;
+          (id, true)
+    in
+    (* Runs the safety predicates; the engine must currently hold [config].
+       Violations are recorded as (message, config id); schedules are
+       attached after exploration, once parent pointers are final. *)
+    let check id config =
+      if !n_safety < max_violations then begin
+        let record message =
+          incr n_safety;
+          safety := (message, id) :: !safety
+        in
+        (match check_outputs with
+        | None -> ()
+        | Some f -> (
+            match f (E.config_outputs config) with
+            | None -> ()
+            | Some msg -> record msg));
+        match check_config with
+        | None -> ()
+        | Some f -> (
+            match f engine with None -> () | Some msg -> record msg)
+      end
+    in
+    let queue = Queue.create () in
+    let root_id, _ = intern initial in
+    Hashtbl.replace parents_tbl root_id None;
+    check root_id initial;
+    Queue.add root_id queue;
+    while not (Queue.is_empty queue) do
+      let uid = Queue.pop queue in
+      let config = Hashtbl.find store uid in
+      let unfinished = E.config_unfinished config in
+      let succs = ref [] in
+      List.iter
+        (fun subset ->
+          if !next_id < max_configs then begin
+            E.restore engine config;
+            E.activate engine subset;
+            let succ = E.snapshot engine in
+            let vid, fresh = intern succ in
+            incr transitions;
+            succs := (subset, vid) :: !succs;
+            if fresh then begin
+              Hashtbl.replace parents_tbl vid (Some (uid, subset));
+              check vid succ;
+              Queue.add vid queue
+            end
+          end
+          else complete := false)
+        (subsets_of mode unfinished);
+      Hashtbl.replace adj uid (List.rev !succs)
+    done;
+    let total = !next_id in
+    let parents = Array.init total (fun id -> Hashtbl.find parents_tbl id) in
+    (* attach schedules to recorded safety violations *)
+    let safety =
+      List.rev !safety
+      |> List.map (fun (message, id) ->
+             { message; schedule = schedule_to parents id })
+    in
+    (* Cycle detection by iterative DFS from the root; all stored configs
+       are reachable from the root by construction. *)
+    let color = Array.make total 0 in
+    let livelock = ref None in
+    let finish_order = ref [] in
+    let edges_of id = try Hashtbl.find adj id with Not_found -> [] in
+    let rec dfs path id =
+      (* [path] is the list of subsets taken from the root, newest first. *)
+      color.(id) <- 1;
+      List.iter
+        (fun (subset, v) ->
+          if !livelock = None then
+            if color.(v) = 0 then dfs (subset :: path) v
+            else if color.(v) = 1 then
+              livelock :=
+                Some
+                  {
+                    message =
+                      Printf.sprintf
+                        "livelock: configuration cycle via activation of working \
+                         processes (cycle re-enters config %d)"
+                        v;
+                    schedule = List.rev (subset :: path);
+                  })
+        (edges_of id);
+      color.(id) <- 2;
+      finish_order := id :: !finish_order
+    in
+    (* The recursion depth equals the longest simple path; for the small
+       systems the explorer targets this fits the stack. *)
+    dfs [] root_id;
+    let wait_free = !livelock = None in
+    (* Exact worst case by longest-path DP over the DAG in topological
+       order (the reversed finish order). *)
+    let worst =
+      if (not wait_free) || not !complete then -1
+      else begin
+        let dp = Array.make total [||] in
+        dp.(root_id) <- Array.make n 0;
+        let best = ref 0 in
+        List.iter
+          (fun uid ->
+            let du = dp.(uid) in
+            if Array.length du > 0 then
+              List.iter
+                (fun (subset, vid) ->
+                  if Array.length dp.(vid) = 0 then dp.(vid) <- Array.make n 0;
+                  let dv = dp.(vid) in
+                  List.iter
+                    (fun p ->
+                      let cand = du.(p) + 1 in
+                      if cand > dv.(p) then begin
+                        dv.(p) <- cand;
+                        if cand > !best then best := cand
+                      end)
+                    subset;
+                  Array.iteri
+                    (fun p x -> if x > dv.(p) then dv.(p) <- x)
+                    du)
+                (edges_of uid))
+          !finish_order;
+        !best
+      end
+    in
+    {
+      configs = total;
+      transitions = !transitions;
+      terminal_configs = !terminal;
+      complete = !complete;
+      wait_free;
+      livelock = !livelock;
+      safety;
+      worst_case_activations = worst;
+    }
+
+  let pp_report ppf r =
+    Format.fprintf ppf
+      "@[<v>configs=%d transitions=%d terminal=%d complete=%b wait_free=%b \
+       worst_activations=%d safety_violations=%d%a@]"
+      r.configs r.transitions r.terminal_configs r.complete r.wait_free
+      r.worst_case_activations (List.length r.safety)
+      (fun ppf -> function
+        | None -> ()
+        | Some v -> Format.fprintf ppf "@,livelock: %s" v.message)
+      r.livelock
+end

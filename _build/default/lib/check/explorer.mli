@@ -1,0 +1,70 @@
+(** Exhaustive verification over *all* schedules, for small systems.
+
+    The configuration of an execution is the tuple of per-process statuses,
+    private states and register contents.  Because protocols are
+    deterministic, fixing the topology and the identifiers makes the set of
+    reachable configurations a finite directed graph whose edges are the
+    nonempty activation subsets of the not-yet-returned processes.  The
+    explorer builds this graph breadth-first and decides:
+
+    - {b Wait-freedom}.  The protocol is wait-free (for this topology and
+      identifier assignment) iff the configuration graph is acyclic: every
+      edge activates at least one working process, so a cycle is exactly a
+      schedule on which some process takes working steps forever, and
+      conversely an acyclic graph bounds every execution by its longest
+      path.  On violation a concrete lasso schedule (prefix + cycle) is
+      returned, replayable with {!Asyncolor_kernel.Adversary.finite}.
+
+    - {b Safety}.  User predicates are evaluated at every reachable
+      configuration — e.g. proper colouring of the returned subgraph,
+      palette membership, or the Lemma 4.5 identifier invariant.  Each
+      violation comes with the schedule prefix that reaches it.
+
+    - {b Worst case}.  When the graph is acyclic, a longest-path dynamic
+      program yields the exact worst-case number of activations of any
+      single process over {e all} schedules — the paper's round
+      complexity, computed exactly rather than sampled. *)
+
+module Make (P : Asyncolor_kernel.Protocol.S) : sig
+  module E : module type of Asyncolor_kernel.Engine.Make (P)
+
+  type violation = {
+    message : string;
+    schedule : int list list;  (** activation sets reaching the violation *)
+  }
+
+  type report = {
+    configs : int;  (** reachable configurations explored *)
+    transitions : int;  (** edges of the configuration graph *)
+    terminal_configs : int;  (** configurations with every process returned or only crashed futures *)
+    complete : bool;  (** false iff exploration stopped at [max_configs] *)
+    wait_free : bool;  (** graph acyclic (meaningful when [complete]) *)
+    livelock : violation option;  (** a lasso schedule witnessing non-wait-freedom *)
+    safety : violation list;  (** safety violations, oldest first (capped) *)
+    worst_case_activations : int;  (** exact worst-case rounds; [-1] when cyclic or incomplete *)
+  }
+
+  val explore :
+    ?max_configs:int ->
+    ?max_violations:int ->
+    ?mode:[ `All_subsets | `Singletons ] ->
+    ?check_outputs:(P.output option array -> string option) ->
+    ?check_config:(E.t -> string option) ->
+    Asyncolor_topology.Graph.t ->
+    idents:int array ->
+    report
+  (** [explore g ~idents] exhausts the configuration graph of the protocol
+      on [g] with the given identifiers.  [check_outputs] inspects the
+      partial output vector of each configuration; [check_config] is given
+      an engine restored to the configuration (read-only use).
+
+      [mode] selects the schedule space: [`All_subsets] (default) allows
+      arbitrary simultaneous activations, the paper's full model;
+      [`Singletons] restricts to interleaved schedules (one process per
+      time step), i.e. executions with no perfectly-simultaneous rounds.
+      The distinction matters: see the "phase-lock" finding in
+      EXPERIMENTS.md.  Defaults: [max_configs = 500_000],
+      [max_violations = 5]. *)
+
+  val pp_report : Format.formatter -> report -> unit
+end

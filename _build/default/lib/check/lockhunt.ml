@@ -1,0 +1,33 @@
+module Graph = Asyncolor_topology.Graph
+module Adversary = Asyncolor_kernel.Adversary
+
+module Make (P : Asyncolor_kernel.Protocol.S) = struct
+  module E = Asyncolor_kernel.Engine.Make (P)
+
+  type finding = {
+    pair : int * int;
+    locked : bool;
+    steps : int;
+    pair_activations : int * int;
+  }
+
+  let probe ?max_steps graph ~idents ((p, q) as pair) =
+    let n = Graph.n graph in
+    let max_steps =
+      match max_steps with Some m -> m | None -> 2_000 + (20 * n)
+    in
+    let engine = E.create graph ~idents in
+    let r = E.run ~max_steps engine (Adversary.isolate_pair pair) in
+    {
+      pair;
+      locked = (not r.all_returned) && not r.schedule_ended;
+      steps = r.steps;
+      pair_activations = (r.activations_per_process.(p), r.activations_per_process.(q));
+    }
+
+  let hunt ?max_steps graph ~idents =
+    List.map (fun (u, v) -> probe ?max_steps graph ~idents (u, v)) (Graph.edges graph)
+
+  let locked findings =
+    List.filter_map (fun f -> if f.locked then Some f.pair else None) findings
+end

@@ -1,0 +1,34 @@
+(** Systematic search for finding-F1 phase-locks at scale.
+
+    The exhaustive explorer proves or refutes wait-freedom for tiny
+    systems; this module scales the *attack* instead of the proof: for
+    every edge [(p, q)] of the graph it plays the
+    {!Asyncolor_kernel.Adversary.isolate_pair} schedule — run everyone
+    else to completion, then activate [p] and [q] in perfect lockstep —
+    and reports which pairs never terminate.  A non-empty result is a
+    concrete, replayable wait-freedom violation for that topology and
+    identifier assignment. *)
+
+module Make (P : Asyncolor_kernel.Protocol.S) : sig
+  module E : module type of Asyncolor_kernel.Engine.Make (P)
+
+  type finding = {
+    pair : int * int;
+    locked : bool;
+    steps : int;  (** steps consumed (= the cap when locked) *)
+    pair_activations : int * int;  (** rounds the two processes worked *)
+  }
+
+  val probe : ?max_steps:int -> Asyncolor_topology.Graph.t -> idents:int array -> int * int -> finding
+  (** Attack one adjacent pair.  Default [max_steps]: [2_000 + 20 * n]. *)
+
+  val hunt :
+    ?max_steps:int ->
+    Asyncolor_topology.Graph.t ->
+    idents:int array ->
+    finding list
+  (** Attack every edge; findings in edge order. *)
+
+  val locked : finding list -> (int * int) list
+  (** The pairs that locked. *)
+end

@@ -1,0 +1,1 @@
+lib/core/algorithm1.ml: Array Asyncolor_kernel Asyncolor_topology Asyncolor_util Color Format Fun List

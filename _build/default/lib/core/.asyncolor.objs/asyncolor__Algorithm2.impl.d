@@ -1,0 +1,1 @@
+lib/core/algorithm2.ml: Array Asyncolor_kernel Asyncolor_topology Asyncolor_util Format Fun List

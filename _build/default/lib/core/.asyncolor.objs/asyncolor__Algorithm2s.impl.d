@@ -1,0 +1,1 @@
+lib/core/algorithm2s.ml: Array Asyncolor_kernel Asyncolor_topology Asyncolor_util Format Fun List

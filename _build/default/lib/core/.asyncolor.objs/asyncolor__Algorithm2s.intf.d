@@ -1,0 +1,1 @@
+lib/core/algorithm2s.mli: Asyncolor_kernel

@@ -1,0 +1,1 @@
+lib/core/algorithm3.ml: Array Asyncolor_cv Asyncolor_kernel Asyncolor_topology Asyncolor_util Format Fun List Printf Rank

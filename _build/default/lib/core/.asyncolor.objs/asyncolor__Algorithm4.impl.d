@@ -1,0 +1,1 @@
+lib/core/algorithm4.ml: Algorithm1 Asyncolor_kernel Color

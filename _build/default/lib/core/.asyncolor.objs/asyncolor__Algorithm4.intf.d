@@ -1,0 +1,1 @@
+lib/core/algorithm4.mli: Algorithm1 Asyncolor_kernel Asyncolor_topology Color

@@ -1,0 +1,1 @@
+lib/core/checker.ml: Array Asyncolor_topology Format List

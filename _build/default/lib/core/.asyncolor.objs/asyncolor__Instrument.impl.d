@@ -1,0 +1,1 @@
+lib/core/instrument.ml: Algorithm1 Array Asyncolor_kernel Asyncolor_topology Asyncolor_util Color Format Fun Int List Printf Set

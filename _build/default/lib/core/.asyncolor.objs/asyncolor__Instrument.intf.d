@@ -1,0 +1,1 @@
+lib/core/instrument.mli: Algorithm1 Asyncolor_kernel Color Set

@@ -1,0 +1,1 @@
+lib/core/instrument2.ml: Algorithm2 Array Asyncolor_kernel Asyncolor_topology Asyncolor_util Format Fun Int List Printf Set

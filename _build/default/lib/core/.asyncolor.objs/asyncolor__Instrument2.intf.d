@@ -1,0 +1,1 @@
+lib/core/instrument2.mli: Algorithm2 Asyncolor_kernel Set

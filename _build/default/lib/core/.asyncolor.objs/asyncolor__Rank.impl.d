@@ -1,0 +1,1 @@
+lib/core/rank.ml: Format Int

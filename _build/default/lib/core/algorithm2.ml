@@ -1,0 +1,49 @@
+module Step = Asyncolor_kernel.Step
+module Mex = Asyncolor_util.Mex
+module Builders = Asyncolor_topology.Builders
+
+type fields = { x : int; a : int; b : int }
+
+module P = struct
+  type state = fields
+  type register = fields
+  type output = int
+
+  let name = "algorithm2"
+  let init ~ident = { x = ident; a = 0; b = 0 }
+  let publish s = s
+
+  let transition s ~view =
+    let nbrs = Array.to_list view |> List.filter_map Fun.id in
+    let c = List.concat_map (fun r -> [ r.a; r.b ]) nbrs in
+    if not (List.mem s.a c) then Step.Return s.a
+    else if not (List.mem s.b c) then Step.Return s.b
+    else begin
+      let c_plus =
+        List.concat_map (fun r -> if r.x > s.x then [ r.a; r.b ] else []) nbrs
+      in
+      Step.Continue { s with a = Mex.of_list c_plus; b = Mex.of_list c }
+    end
+
+  let equal_state (s : state) (s' : state) = s = s'
+  let equal_register = equal_state
+  let pp_state ppf s = Format.fprintf ppf "{x=%d;a=%d;b=%d}" s.x s.a s.b
+  let pp_register = pp_state
+  let pp_output = Format.pp_print_int
+end
+
+module E = Asyncolor_kernel.Engine.Make (P)
+
+let activation_bound n = (3 * n) + 8
+let non_minimum_bound ~l = (3 * l) + 4
+
+let run_on_cycle ?max_steps ~idents adv =
+  let engine = E.create (Builders.cycle (Array.length idents)) ~idents in
+  E.run ?max_steps engine adv
+
+let general_palette ~max_degree = (2 * max_degree) + 1
+let in_general_palette ~max_degree c = c >= 0 && c <= 2 * max_degree
+
+let run_on_graph ?max_steps g ~idents adv =
+  let engine = E.create g ~idents in
+  E.run ?max_steps engine adv

@@ -1,0 +1,48 @@
+(** Algorithm 3 — wait-free 5-colouring of the cycle in O(log* n)
+    (paper §4, the main result).
+
+    Two components run in parallel inside each round:
+
+    + the colouring component of Algorithm 2 verbatim (lines 6–10) — this
+      alone guarantees wait-freedom;
+    + an identifier-reduction component à la Cole–Vishkin (lines 11–19):
+      a "middle" process (one whose [X_p] lies strictly between its
+      neighbours' identifiers) repeatedly replaces [X_p] by
+      [f(X_p, min(X_q, X_q'))], but only after receiving a green light
+      [r_p ≤ min(r_q, r_q')] from both neighbours, which keeps the evolving
+      identifiers a proper colouring at all times (Lemma 4.5).  A process
+      that finds itself a local extremum sets [r_p = ∞] and stops reducing
+      (after one final mex-style drop if it is a local minimum).
+
+    Theorem 4.4: every process terminates within O(log* n) activations,
+    with palette [{0,…,4}] and proper colouring of the returned subgraph.
+
+    Semantics note: the identifier block (lines 11–19) needs to read both
+    neighbours' registers; when either register is still [⊥] the block is
+    skipped for that round.  Wait-freedom is unaffected — it rests solely
+    on component 1. *)
+
+type fields = { x : int; r : Rank.t; a : int; b : int }
+
+module P :
+  Asyncolor_kernel.Protocol.S
+    with type state = fields
+     and type register = fields
+     and type output = int
+
+module E : module type of Asyncolor_kernel.Engine.Make (P)
+
+val activation_bound : int -> int
+(** Empirical-constant version of the O(log* n) bound of Theorem 4.4 used
+    by the test suite: [c1 * log* n + c0] with generous constants
+    ([64 * log* n + 64]); every experiment measures far below it. *)
+
+val monitor_identifier_coloring : E.t -> unit
+(** Assert Lemma 4.5 on the current configuration: whenever both endpoints
+    of an edge have published registers, their private and published
+    identifiers differ from the neighbour's published identifier.  Install
+    with [E.set_monitor] to check the invariant at every time step.
+    @raise Failure on violation. *)
+
+val run_on_cycle :
+  ?max_steps:int -> idents:int array -> Asyncolor_kernel.Adversary.t -> E.run_result

@@ -1,0 +1,29 @@
+(** Algorithm 4 — wait-free O(Δ²)-colouring of general graphs
+    (paper Appendix A).
+
+    The code is Algorithm 1 verbatim, run on a graph of maximum degree Δ
+    instead of the cycle: the per-round update reads all [k ≤ Δ] neighbour
+    registers.  Outputs lie in [{ (a,b) | a + b ≤ Δ }], a palette of
+    [(Δ+1)(Δ+2)/2] colours, and properly colour the subgraph induced by
+    the terminating processes. *)
+
+module P :
+  Asyncolor_kernel.Protocol.S
+    with type state = Algorithm1.fields
+     and type register = Algorithm1.fields
+     and type output = Color.pair
+
+module E : module type of Asyncolor_kernel.Engine.Make (P)
+
+val palette_size : max_degree:int -> int
+(** [(Δ+1)(Δ+2)/2]. *)
+
+val in_palette : max_degree:int -> Color.pair -> bool
+
+val run :
+  ?max_steps:int ->
+  Asyncolor_topology.Graph.t ->
+  idents:int array ->
+  Asyncolor_kernel.Adversary.t ->
+  E.run_result
+(** Run on an arbitrary graph. *)

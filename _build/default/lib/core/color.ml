@@ -1,0 +1,12 @@
+type pair = int * int
+
+let pair_in_palette ~budget (a, b) = a >= 0 && b >= 0 && a + b <= budget
+let pair_palette_size ~budget = (budget + 1) * (budget + 2) / 2
+
+(* Diagonal (Cantor-style) enumeration of pairs ordered by a+b then a. *)
+let pair_index (a, b) =
+  let d = a + b in
+  (d * (d + 1) / 2) + a
+
+let in_five c = c >= 0 && c <= 4
+let pp_pair ppf (a, b) = Format.fprintf ppf "(%d,%d)" a b

@@ -1,0 +1,27 @@
+(** Colour palettes of the paper's algorithms.
+
+    Algorithm 1 (and its general-graph extension, Algorithm 4) outputs a
+    pair [(a, b)]; on the cycle the palette is [{ (a,b) | a + b <= 2 }]
+    (6 colours), on a graph of maximum degree [Δ] it is
+    [{ (a,b) | a + b <= Δ }] ([(Δ+1)(Δ+2)/2] colours).  Algorithms 2 and 3
+    output a single natural in [{0, …, 4}]. *)
+
+type pair = int * int
+(** Output of Algorithms 1 and 4. *)
+
+val pair_in_palette : budget:int -> pair -> bool
+(** [pair_in_palette ~budget (a, b)] holds iff [a >= 0], [b >= 0] and
+    [a + b <= budget].  The cycle uses [budget = 2]; general graphs use
+    [budget = Δ]. *)
+
+val pair_palette_size : budget:int -> int
+(** [(budget+1)(budget+2)/2]. *)
+
+val pair_index : pair -> int
+(** Injective encoding of palette pairs into [0, 1, 2, …] by diagonal
+    enumeration, for display purposes. *)
+
+val in_five : int -> bool
+(** Membership in [{0, …, 4}], the palette of Algorithms 2 and 3. *)
+
+val pp_pair : Format.formatter -> pair -> unit

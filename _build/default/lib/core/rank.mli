@@ -1,0 +1,19 @@
+(** The synchronisation counter [r_p ∈ N ∪ {∞}] of Algorithm 3.
+
+    [r_p] counts how many identifier reductions process [p] has attempted;
+    a process only reduces when [r_p ≤ min(r_q, r_q')] — the "green light"
+    from both neighbours.  [r_p = ∞] marks a process that has permanently
+    opted out of identifier reduction (it became a local extremum). *)
+
+type t = Fin of int | Inf
+
+val zero : t
+val succ : t -> t
+(** [succ Inf = Inf]. *)
+
+val is_finite : t -> bool
+val compare : t -> t -> int
+val ( <= ) : t -> t -> bool
+val min : t -> t -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

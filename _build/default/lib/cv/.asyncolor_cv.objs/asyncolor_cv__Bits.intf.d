@@ -1,0 +1,1 @@
+lib/cv/bits.mli:

@@ -1,0 +1,1 @@
+lib/cv/reduce.mli:

@@ -1,0 +1,1 @@
+lib/experiments/e02_alg1_palette.ml: Array Asyncolor Asyncolor_check Asyncolor_topology Asyncolor_util Asyncolor_workload Format Harness List Outcome String

@@ -1,0 +1,1 @@
+lib/experiments/e03_alg2_linear.ml: Asyncolor Asyncolor_topology Asyncolor_workload Harness Int List Outcome Printf

@@ -1,0 +1,1 @@
+lib/experiments/e05_crossover.ml: Asyncolor Asyncolor_topology Asyncolor_workload Harness Int List Outcome Printf

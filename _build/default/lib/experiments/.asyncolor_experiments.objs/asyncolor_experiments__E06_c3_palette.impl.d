@@ -1,0 +1,1 @@
+lib/experiments/e06_c3_palette.ml: Array Asyncolor Asyncolor_check Asyncolor_shm Asyncolor_topology Asyncolor_workload Format Harness Hashtbl Int List Outcome Printf String

@@ -1,0 +1,1 @@
+lib/experiments/e07_mis_impossible.ml: Array Asyncolor_check Asyncolor_kernel Asyncolor_shm Asyncolor_topology Asyncolor_workload Format Fun List Option Outcome Printf String

@@ -1,0 +1,1 @@
+lib/experiments/e08_crash_tolerance.ml: Array Asyncolor Asyncolor_cv Asyncolor_kernel Asyncolor_topology Asyncolor_util Asyncolor_workload Int List Option Outcome Printf Seq

@@ -1,0 +1,1 @@
+lib/experiments/e09_cv_reduction.ml: Asyncolor_cv Asyncolor_util Asyncolor_workload List Outcome Printf

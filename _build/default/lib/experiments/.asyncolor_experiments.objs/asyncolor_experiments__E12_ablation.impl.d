@@ -1,0 +1,1 @@
+lib/experiments/e12_ablation.ml: Asyncolor Asyncolor_shm Asyncolor_topology Asyncolor_workload Harness Int List Outcome

@@ -1,0 +1,1 @@
+lib/experiments/e13_phase_lock.ml: Asyncolor Asyncolor_check Asyncolor_kernel Asyncolor_topology Asyncolor_util Asyncolor_workload Harness Int List Option Outcome Printf String

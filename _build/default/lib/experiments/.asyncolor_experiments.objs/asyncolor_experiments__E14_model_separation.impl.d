@@ -1,0 +1,1 @@
+lib/experiments/e14_model_separation.ml: Array Asyncolor Asyncolor_cv Asyncolor_kernel Asyncolor_local Asyncolor_topology Asyncolor_util Asyncolor_workload Fun Int List Option Outcome Seq

@@ -1,0 +1,1 @@
+lib/experiments/e16_open_problem.ml: Asyncolor Asyncolor_check Asyncolor_topology Asyncolor_util Asyncolor_workload Format Harness Int Lazy List Outcome

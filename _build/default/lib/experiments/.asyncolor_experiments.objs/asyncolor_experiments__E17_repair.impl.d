@@ -1,0 +1,1 @@
+lib/experiments/e17_repair.ml: Array Asyncolor Asyncolor_check Asyncolor_kernel Asyncolor_topology Asyncolor_util Asyncolor_workload Int List Outcome Printf String

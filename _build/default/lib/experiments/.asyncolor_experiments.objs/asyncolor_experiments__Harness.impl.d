@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Asyncolor Asyncolor_kernel Asyncolor_topology Asyncolor_util List

@@ -1,0 +1,1 @@
+lib/experiments/harness.mli: Asyncolor_kernel Asyncolor_topology

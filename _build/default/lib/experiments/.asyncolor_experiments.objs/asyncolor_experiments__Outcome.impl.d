@@ -1,0 +1,1 @@
+lib/experiments/outcome.ml: Asyncolor_workload Char Filename List Printf String

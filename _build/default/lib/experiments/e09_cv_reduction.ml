@@ -1,0 +1,70 @@
+(** E9 — Lemmas 4.1–4.3: the identifier-reduction function [f].
+    (a) iterating the envelope [F x = 2⌈log2(x+1)⌉+1] reaches a value
+    below 10 within α·log* x iterations; (b) [x > y ≥ 10 ⇒ f x y < y];
+    (c) [x > y > z ⇒ f x y ≠ f y z] — (b) and (c) are sampled massively
+    here and property-tested in the test suite; (a) is tabulated. *)
+
+module Table = Asyncolor_workload.Table
+module Prng = Asyncolor_util.Prng
+module Reduce = Asyncolor_cv.Reduce
+module Bits = Asyncolor_cv.Bits
+module Logstar = Asyncolor_cv.Logstar
+
+let run ?(quick = false) ?(seed = 50) () =
+  let ok = ref true in
+  let table =
+    Table.create ~headers:[ "x"; "|x| bits"; "F-iterations to <10"; "log* x" ]
+  in
+  let xs =
+    [
+      100;
+      10_000;
+      1_000_000;
+      1_000_000_000;
+      1_000_000_000_000;
+      1 lsl 50;
+      (1 lsl 62) - 1;
+    ]
+  in
+  let worst_ratio = ref 0.0 in
+  List.iter
+    (fun x ->
+      let iters = Reduce.iterations_to_small x in
+      let ls = Logstar.log_star_int x in
+      let ratio = float_of_int iters /. float_of_int (max 1 ls) in
+      if ratio > !worst_ratio then worst_ratio := ratio;
+      ok := !ok && iters <= (4 * ls) + 4;
+      Table.add_row table
+        [ string_of_int x; string_of_int (Bits.length x); string_of_int iters;
+          string_of_int ls ])
+    xs;
+  (* Massive sampling of Lemmas 4.2 and 4.3. *)
+  let prng = Prng.create ~seed in
+  let samples = if quick then 10_000 else 1_000_000 in
+  let lemma42_fail = ref 0 and lemma43_fail = ref 0 in
+  for _ = 1 to samples do
+    let x = Prng.int prng (1 lsl 40) and y = Prng.int prng (1 lsl 40) in
+    let z = Prng.int prng (1 lsl 40) in
+    let a = max x (max y z) and c = min x (min y z) in
+    let b = x + y + z - a - c in
+    if a > b && b >= 10 && Reduce.f a b >= b then incr lemma42_fail;
+    if a > b && b > c && Reduce.f a b = Reduce.f b c then incr lemma43_fail
+  done;
+  ok := !ok && !lemma42_fail = 0 && !lemma43_fail = 0;
+  let lemma_table = Table.create ~headers:[ "lemma"; "samples"; "violations" ] in
+  Table.add_row lemma_table
+    [ "4.2 (f x y < y)"; string_of_int samples; string_of_int !lemma42_fail ];
+  Table.add_row lemma_table
+    [ "4.3 (f x y <> f y z)"; string_of_int samples; string_of_int !lemma43_fail ];
+  {
+    Outcome.id = "E9";
+    title = "Cole–Vishkin reduction: shrink speed and colouring preservation";
+    claim = "Lemmas 4.1-4.3";
+    tables =
+      [ ("envelope iterations (Lemma 4.1)", table); ("sampled lemmas", lemma_table) ];
+    ok = !ok;
+    notes =
+      [
+        Printf.sprintf "max iterations/log* ratio observed: %.2f" !worst_ratio;
+      ];
+  }

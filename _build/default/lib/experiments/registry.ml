@@ -1,0 +1,111 @@
+type entry = {
+  id : string;
+  title : string;
+  run : ?quick:bool -> unit -> Outcome.t;
+}
+
+let all =
+  [
+    {
+      id = "E1";
+      title = "Algorithm 1 termination bound";
+      run = (fun ?quick () -> E01_alg1_termination.run ?quick ());
+    };
+    {
+      id = "E2";
+      title = "Algorithm 1 palette & exhaustive safety";
+      run = (fun ?quick () -> E02_alg1_palette.run ?quick ());
+    };
+    {
+      id = "E3";
+      title = "Algorithm 2 linear time";
+      run = (fun ?quick () -> E03_alg2_linear.run ?quick ());
+    };
+    {
+      id = "E4";
+      title = "Algorithm 3 log* time";
+      run = (fun ?quick () -> E04_alg3_logstar.run ?quick ());
+    };
+    {
+      id = "E5";
+      title = "Crossover Alg2 vs Alg3";
+      run = (fun ?quick () -> E05_crossover.run ?quick ());
+    };
+    {
+      id = "E6";
+      title = "C3 palette tightness & renaming coincidence";
+      run = (fun ?quick () -> E06_c3_palette.run ?quick ());
+    };
+    {
+      id = "E7";
+      title = "MIS impossibility horns & reduction";
+      run = (fun ?quick () -> E07_mis_impossible.run ?quick ());
+    };
+    {
+      id = "E8";
+      title = "Crash tolerance";
+      run = (fun ?quick () -> E08_crash_tolerance.run ?quick ());
+    };
+    {
+      id = "E9";
+      title = "Cole-Vishkin reduction lemmas";
+      run = (fun ?quick () -> E09_cv_reduction.run ?quick ());
+    };
+    {
+      id = "E10";
+      title = "General graphs (Algorithm 4)";
+      run = (fun ?quick () -> E10_general_graphs.run ?quick ());
+    };
+    {
+      id = "E11";
+      title = "LOCAL baseline vs Algorithm 3";
+      run = (fun ?quick () -> E11_local_baseline.run ?quick ());
+    };
+    {
+      id = "E12";
+      title = "Ablation & renaming baseline";
+      run = (fun ?quick () -> E12_ablation.run ?quick ());
+    };
+    {
+      id = "E13";
+      title = "Finding F1: phase-lock under simultaneous schedules";
+      run = (fun ?quick () -> E13_phase_lock.run ?quick ());
+    };
+    {
+      id = "E14";
+      title = "Model separation: DECOUPLED vs the state model";
+      run = (fun ?quick () -> E14_model_separation.run ?quick ());
+    };
+    {
+      id = "E15";
+      title = "General graphs: Linial baseline vs Algorithm 4";
+      run = (fun ?quick () -> E15_general_baseline.run ?quick ());
+    };
+    {
+      id = "E16";
+      title = "Open problem probe: 2Δ+1 colours wait-free on general graphs";
+      run = (fun ?quick () -> E16_open_problem.run ?quick ());
+    };
+    {
+      id = "E17";
+      title = "Finding F3: the rank-offset repair of the phase-lock";
+      run = (fun ?quick () -> E17_repair.run ?quick ());
+    };
+    {
+      id = "E18";
+      title = "Registers stay O(log n) bits";
+      run = (fun ?quick () -> E18_register_bits.run ?quick ());
+    };
+  ]
+
+let find id =
+  let id = String.lowercase_ascii id in
+  List.find_opt (fun e -> String.lowercase_ascii e.id = id) all
+
+let run_all ?quick () =
+  List.map
+    (fun e ->
+      let outcome = e.run ?quick () in
+      Outcome.print outcome;
+      outcome)
+    all

@@ -1,0 +1,14 @@
+(** All experiments, in index order. *)
+
+type entry = {
+  id : string;
+  title : string;
+  run : ?quick:bool -> unit -> Outcome.t;
+}
+
+val all : entry list
+val find : string -> entry option
+(** Lookup by case-insensitive id, e.g. "e4". *)
+
+val run_all : ?quick:bool -> unit -> Outcome.t list
+(** Run every experiment and print each outcome as it completes. *)

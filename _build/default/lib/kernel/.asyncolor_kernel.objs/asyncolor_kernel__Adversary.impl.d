@@ -1,0 +1,1 @@
+lib/kernel/adversary.ml: Array Asyncolor_util List Printf String

@@ -1,0 +1,1 @@
+lib/kernel/adversary.mli: Asyncolor_util

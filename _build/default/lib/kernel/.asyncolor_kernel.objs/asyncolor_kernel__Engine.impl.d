@@ -1,0 +1,1 @@
+lib/kernel/engine.ml: Adversary Array Asyncolor_topology Format List Option Protocol Status Step

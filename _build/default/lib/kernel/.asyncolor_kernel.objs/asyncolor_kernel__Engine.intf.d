@@ -1,0 +1,1 @@
+lib/kernel/engine.mli: Adversary Asyncolor_topology Format Protocol Status

@@ -1,0 +1,212 @@
+module Graph = Asyncolor_topology.Graph
+
+module Make (P : Protocol.S) = struct
+  type event = {
+    time : int;
+    activated : int list;
+    returned : (int * P.output) list;
+  }
+
+  type t = {
+    graph : Graph.t;
+    idents : int array;
+    mutable states : P.state option array;  (* None while asleep *)
+    status : P.output Status.t array;
+    public : P.register option array;
+    activations : int array;
+    mutable time : int;
+    mutable monitor : (t -> unit) option;
+    mutable trace : event list;  (* reverse chronological *)
+    record_trace : bool;
+    mutable unfinished_cache : int list option;
+        (* memoised [unfinished]; invalidated whenever a process returns or
+           a snapshot is restored *)
+  }
+
+  let create ?(record_trace = false) graph ~idents =
+    let n = Graph.n graph in
+    if Array.length idents <> n then
+      invalid_arg "Engine.create: idents length must match node count";
+    {
+      graph;
+      idents = Array.copy idents;
+      states = Array.make n None;
+      status = Array.make n Status.Asleep;
+      public = Array.make n None;
+      activations = Array.make n 0;
+      time = 0;
+      monitor = None;
+      trace = [];
+      record_trace;
+      unfinished_cache = None;
+    }
+
+  let graph t = t.graph
+  let n t = Graph.n t.graph
+  let time t = t.time
+  let ident t p = t.idents.(p)
+  let status t p = t.status.(p)
+
+  let state t p =
+    match t.states.(p) with
+    | Some s -> s
+    | None -> invalid_arg "Engine.state: process still asleep"
+
+  let public t p = t.public.(p)
+  let activations t p = t.activations.(p)
+  let max_activations t = Array.fold_left max 0 t.activations
+
+  let unfinished t =
+    match t.unfinished_cache with
+    | Some l -> l
+    | None ->
+        let acc = ref [] in
+        for p = n t - 1 downto 0 do
+          if not (Status.is_returned t.status.(p)) then acc := p :: !acc
+        done;
+        t.unfinished_cache <- Some !acc;
+        !acc
+
+  let all_returned t = Array.for_all Status.is_returned t.status
+  let outputs t = Array.map Status.output t.status
+  let set_monitor t f = t.monitor <- Some f
+  let trace t = List.rev t.trace
+
+  (* One time step.  Phase 1: all activated processes wake (if needed) and
+     write; phase 2: all of them read and update.  This matches the paper's
+     simultaneous-round semantics. *)
+  let activate t set =
+    t.time <- t.time + 1;
+    let set = List.sort_uniq compare set in
+    let set = List.filter (fun p -> not (Status.is_returned t.status.(p))) set in
+    (* Phase 1: wake and write. *)
+    List.iter
+      (fun p ->
+        (match t.states.(p) with
+        | None ->
+            t.states.(p) <- Some (P.init ~ident:t.idents.(p));
+            t.status.(p) <- Status.Working
+        | Some _ -> ());
+        t.public.(p) <-
+          Some (P.publish (Option.get t.states.(p))))
+      set;
+    (* Phase 2: read and update. *)
+    let returned = ref [] in
+    List.iter
+      (fun p ->
+        t.activations.(p) <- t.activations.(p) + 1;
+        let nbrs = Graph.neighbours t.graph p in
+        let view = Array.map (fun q -> t.public.(q)) nbrs in
+        match P.transition (Option.get t.states.(p)) ~view with
+        | Step.Continue s -> t.states.(p) <- Some s
+        | Step.Return o ->
+            t.status.(p) <- Status.Returned o;
+            t.unfinished_cache <- None;
+            returned := (p, o) :: !returned)
+      set;
+    if t.record_trace then
+      t.trace <- { time = t.time; activated = set; returned = List.rev !returned } :: t.trace;
+    match t.monitor with None -> () | Some f -> f t
+
+  let pp_spacetime ppf t =
+    let n = n t in
+    let events = List.rev t.trace in
+    let returned_at = Array.make n max_int in
+    List.iter
+      (fun (e : event) ->
+        List.iter (fun (p, _) -> returned_at.(p) <- e.time) e.returned)
+      events;
+    Format.fprintf ppf "@[<v> t\\p ";
+    for p = 0 to n - 1 do
+      Format.fprintf ppf "%d" (p mod 10)
+    done;
+    List.iter
+      (fun (e : event) ->
+        Format.fprintf ppf "@,%4d " e.time;
+        for p = 0 to n - 1 do
+          let c =
+            if List.mem_assoc p e.returned then 'R'
+            else if returned_at.(p) < e.time then '_'
+            else if List.mem p e.activated then '#'
+            else '.'
+          in
+          Format.pp_print_char ppf c
+        done)
+      events;
+    Format.fprintf ppf "@]"
+
+  let pp_snapshot ppf t =
+    Format.fprintf ppf "@[<v>t=%d (%s)" t.time P.name;
+    for p = 0 to n t - 1 do
+      let pp_opt pp ppf = function
+        | None -> Format.pp_print_string ppf "⊥"
+        | Some x -> pp ppf x
+      in
+      Format.fprintf ppf "@,  p%d id=%d %a: state=%a reg=%a acts=%d" p t.idents.(p)
+        (Status.pp P.pp_output) t.status.(p) (pp_opt P.pp_state) t.states.(p)
+        (pp_opt P.pp_register) t.public.(p) t.activations.(p)
+    done;
+    Format.fprintf ppf "@]"
+
+  type config = {
+    c_states : P.state option array;
+    c_status : P.output Status.t array;
+    c_public : P.register option array;
+  }
+
+  let snapshot t =
+    {
+      c_states = Array.copy t.states;
+      c_status = Array.copy t.status;
+      c_public = Array.copy t.public;
+    }
+
+  let restore t c =
+    Array.blit c.c_states 0 t.states 0 (Array.length c.c_states);
+    Array.blit c.c_status 0 t.status 0 (Array.length c.c_status);
+    Array.blit c.c_public 0 t.public 0 (Array.length c.c_public);
+    t.unfinished_cache <- None
+
+  let config_compare (a : config) (b : config) = compare a b
+
+  let config_unfinished c =
+    let acc = ref [] in
+    for p = Array.length c.c_status - 1 downto 0 do
+      if not (Status.is_returned c.c_status.(p)) then acc := p :: !acc
+    done;
+    !acc
+
+  let config_outputs c = Array.map Status.output c.c_status
+
+  type run_result = {
+    steps : int;
+    rounds : int;
+    activations_per_process : int array;
+    outputs : P.output option array;
+    all_returned : bool;
+    schedule_ended : bool;
+  }
+
+  let result ~schedule_ended t =
+    {
+      steps = t.time;
+      rounds = max_activations t;
+      activations_per_process = Array.copy t.activations;
+      outputs = outputs t;
+      all_returned = all_returned t;
+      schedule_ended;
+    }
+
+  let run ?(max_steps = 1_000_000) t (adv : Adversary.t) =
+    let rec loop () =
+      if all_returned t then result ~schedule_ended:false t
+      else if t.time >= max_steps then result ~schedule_ended:false t
+      else
+        match adv.next ~time:(t.time + 1) ~unfinished:(unfinished t) with
+        | None -> result ~schedule_ended:true t
+        | Some set ->
+            activate t set;
+            loop ()
+    in
+    loop ()
+end

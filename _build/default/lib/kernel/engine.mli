@@ -1,0 +1,118 @@
+(** Execution engine for the asynchronous state model.
+
+    [Make (P)] instantiates the model of paper §2.1–2.2 for protocol [P]:
+    processes sit on the nodes of a graph, communicate through
+    single-writer/multi-reader registers readable only along edges, and are
+    driven by an explicit schedule of activation sets.
+
+    Semantics guaranteed by {!Make.activate}:
+    - processes activated in the same step all write before any of them
+      reads (simultaneous immediate-snapshot behaviour);
+    - a register reads as [None] ([⊥]) until its owner's first activation;
+    - a returned process ignores further activations (it "no longer
+      partakes in the execution");
+    - a process's round — write, read, update — is atomic with respect to
+      other steps. *)
+
+module Make (P : Protocol.S) : sig
+  type t
+
+  type event = {
+    time : int;
+    activated : int list;  (** the working processes that actually took a round *)
+    returned : (int * P.output) list;  (** processes whose stopping condition fired *)
+  }
+
+  val create : ?record_trace:bool -> Asyncolor_topology.Graph.t -> idents:int array -> t
+  (** [create g ~idents] sets up one process per node of [g], all asleep,
+      process [p] holding input identifier [idents.(p)].
+      @raise Invalid_argument if [Array.length idents <> Graph.n g]. *)
+
+  val graph : t -> Asyncolor_topology.Graph.t
+  val n : t -> int
+  val time : t -> int
+  (** Number of [activate] steps executed so far. *)
+
+  val ident : t -> int -> int
+  val status : t -> int -> P.output Status.t
+  val state : t -> int -> P.state
+  (** Current private state (the last one before return for a returned
+      process).  @raise Invalid_argument if the process is still asleep. *)
+
+  val public : t -> int -> P.register option
+  (** Current register content, [None] for [⊥]. *)
+
+  val activations : t -> int -> int
+  (** Number of rounds process [p] has performed while working. *)
+
+  val max_activations : t -> int
+  val unfinished : t -> int list
+  (** Sorted list of processes that have not returned (asleep or working). *)
+
+  val all_returned : t -> bool
+  val outputs : t -> P.output option array
+
+  val activate : t -> int list -> unit
+  (** [activate t set] executes one time step with activation set [set].
+      Indices of returned processes and duplicates are ignored.  Asleep
+      processes in [set] wake up (their state becomes [init ~ident]) and
+      take their first round within this very step. *)
+
+  val set_monitor : t -> (t -> unit) -> unit
+  (** Install a callback invoked after every [activate]; used to assert
+      execution invariants (e.g. Lemma 4.5) at every time step. *)
+
+  val trace : t -> event list
+  (** Events in chronological order ([create ~record_trace:true] only). *)
+
+  val pp_spacetime : Format.formatter -> t -> unit
+  (** ASCII space-time diagram of the recorded trace: one row per time
+      step, one column per process; [·] idle, [#] performed a round,
+      [R] returned at that step, [_] already returned.  Requires
+      [record_trace:true]. *)
+
+  val pp_snapshot : Format.formatter -> t -> unit
+  (** Render the full configuration (status, state, register per node). *)
+
+  (** {1 Configuration snapshots}
+
+      A configuration is the part of the global state visible to the model
+      checker: per-process status, private state and register content.
+      Time, activation counters, traces and monitors are deliberately
+      excluded — two points of an execution with equal configurations are
+      indistinguishable to every process, which is what makes cycle
+      detection in the configuration graph sound. *)
+
+  type config
+
+  val snapshot : t -> config
+  val restore : t -> config -> unit
+  (** [restore t c] rewinds statuses, states and registers to [c].  Time
+      and activation counters are left untouched (they are observers, not
+      part of the configuration). *)
+
+  val config_compare : config -> config -> int
+  (** Total order on configurations (structural).  Requires [P.state] and
+      [P.register] to be pure data (no functions, no cycles), which holds
+      for every protocol in this repository. *)
+
+  val config_unfinished : config -> int list
+  val config_outputs : config -> P.output option array
+
+  (** {1 Running against an adversary} *)
+
+  type run_result = {
+    steps : int;  (** time steps consumed *)
+    rounds : int;  (** max activations over all processes — the paper's round complexity *)
+    activations_per_process : int array;
+    outputs : P.output option array;
+    all_returned : bool;  (** every process returned (no crashes, schedule long enough) *)
+    schedule_ended : bool;  (** the adversary returned [None] (remaining processes crashed) *)
+  }
+
+  val run : ?max_steps:int -> t -> Adversary.t -> run_result
+  (** Drive [t] with the adversary until every process returned, the
+      adversary ends the schedule, or [max_steps] (default [1_000_000])
+      time steps elapse.  The engine is left in its final configuration for
+      inspection. *)
+end

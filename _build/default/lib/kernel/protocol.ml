@@ -1,0 +1,49 @@
+(** Protocol signature for the asynchronous state model (paper §2.1).
+
+    A process is a deterministic state machine whose only communication is
+    through a single-writer/multi-reader register readable by its graph
+    neighbours.  One asynchronous round of process [p] performs, atomically:
+
+    + write {!val:publish}[ state] into [p]'s register;
+    + read the registers of all neighbours of [p] ([None] for a neighbour
+      that has never been activated — the paper's [⊥]);
+    + run {!val:transition} to either return an output or adopt a new state.
+
+    The engine ({!Engine.Make}) supplies the graph and the schedule and
+    guarantees the write-then-read order within a simultaneous step. *)
+
+module type S = sig
+  type state
+  (** Private memory of one process. *)
+
+  type register
+  (** Value stored in the process's shared register. *)
+
+  type output
+  (** Final decision value (a colour for the protocols of the paper). *)
+
+  val name : string
+  (** Short protocol name used in traces and tables. *)
+
+  val init : ident:int -> state
+  (** Initial private state of the process whose (unique) input identifier
+      is [ident].  Called at the process's first activation. *)
+
+  val publish : state -> register
+  (** Value written at the start of each round. *)
+
+  val transition : state -> view:register option array -> (state, output) Step.t
+  (** One round: [view.(i)] is the register of the [i]-th neighbour in the
+      node's local order (the order of {!Asyncolor_topology.Graph.neighbours});
+      [None] encodes [⊥].  Must be deterministic and total. *)
+
+  val equal_state : state -> state -> bool
+  (** Structural equality; used by the model checker to canonicalise
+      configurations. *)
+
+  val equal_register : register -> register -> bool
+
+  val pp_state : Format.formatter -> state -> unit
+  val pp_register : Format.formatter -> register -> unit
+  val pp_output : Format.formatter -> output -> unit
+end

@@ -1,0 +1,11 @@
+type 'output t = Asleep | Working | Returned of 'output
+
+let is_asleep = function Asleep -> true | Working | Returned _ -> false
+let is_working = function Working -> true | Asleep | Returned _ -> false
+let is_returned = function Returned _ -> true | Asleep | Working -> false
+let output = function Returned o -> Some o | Asleep | Working -> None
+
+let pp pp_output ppf = function
+  | Asleep -> Format.pp_print_string ppf "asleep"
+  | Working -> Format.pp_print_string ppf "working"
+  | Returned o -> Format.fprintf ppf "returned(%a)" pp_output o

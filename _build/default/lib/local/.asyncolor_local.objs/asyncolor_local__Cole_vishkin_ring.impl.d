@@ -1,0 +1,1 @@
+lib/local/cole_vishkin_ring.ml: Array Asyncolor_cv Asyncolor_util

@@ -1,0 +1,1 @@
+lib/local/cole_vishkin_ring.mli:

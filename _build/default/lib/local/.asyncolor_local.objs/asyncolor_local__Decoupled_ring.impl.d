@@ -1,0 +1,1 @@
+lib/local/decoupled_ring.ml: Array Asyncolor_cv Asyncolor_kernel Asyncolor_util Fun Int List Set

@@ -1,0 +1,1 @@
+lib/local/decoupled_ring.mli: Asyncolor_kernel

@@ -1,0 +1,1 @@
+lib/local/linial.ml: Array Asyncolor_topology Asyncolor_util Int List Set

@@ -1,0 +1,1 @@
+lib/local/linial.mli: Asyncolor_topology

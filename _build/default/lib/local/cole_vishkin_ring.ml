@@ -1,0 +1,53 @@
+module Bits = Asyncolor_cv.Bits
+module Logstar = Asyncolor_cv.Logstar
+module Mex = Asyncolor_util.Mex
+
+let is_proper_ring colors =
+  let n = Array.length colors in
+  n > 0
+  &&
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if colors.(i) = colors.((i + 1) mod n) then ok := false
+  done;
+  !ok
+
+let cv_step colors =
+  let n = Array.length colors in
+  Array.init n (fun v ->
+      let c = colors.(v) and succ = colors.((v + 1) mod n) in
+      if c < 0 || succ < 0 then invalid_arg "Cole_vishkin_ring.cv_step: negative colour";
+      match Bits.first_differing_bit c succ with
+      | None -> invalid_arg "Cole_vishkin_ring.cv_step: not a proper colouring"
+      | Some i -> (2 * i) + Bits.bit c i)
+
+let six_color colors =
+  let rec loop colors rounds =
+    if Array.for_all (fun c -> c <= 5) colors then (colors, rounds)
+    else loop (cv_step colors) (rounds + 1)
+  in
+  loop (Array.copy colors) 0
+
+(* One reduction round: the (independent) class of colour [k] re-colours
+   with the mex of the two neighbours, which is at most 2. *)
+let drop_class k colors =
+  let n = Array.length colors in
+  Array.init n (fun v ->
+      if colors.(v) = k then
+        Mex.of_list [ colors.((v + n - 1) mod n); colors.((v + 1) mod n) ]
+      else colors.(v))
+
+type result = { colors : int array; rounds : int; cv_iterations : int }
+
+let three_color idents =
+  if Array.length idents < 3 then
+    invalid_arg "Cole_vishkin_ring.three_color: need n >= 3";
+  if not (is_proper_ring idents) then
+    invalid_arg "Cole_vishkin_ring.three_color: identifiers must properly colour the ring";
+  let colors, cv_iterations = six_color idents in
+  let colors = drop_class 5 colors in
+  let colors = drop_class 4 colors in
+  let colors = drop_class 3 colors in
+  { colors; rounds = cv_iterations + 3; cv_iterations }
+
+let rounds_upper_bound n = Logstar.log_star_int n + 10

@@ -1,0 +1,114 @@
+module Graph = Asyncolor_topology.Graph
+
+type result = { colors : int array; rounds : int; final_palette : int }
+
+let is_prime k =
+  if k < 2 then false
+  else begin
+    let rec loop d = d * d > k || (k mod d <> 0 && loop (d + 1)) in
+    loop 2
+  end
+
+let smallest_prime_above k =
+  if k < 0 then invalid_arg "Linial.smallest_prime_above: negative input";
+  let rec loop c = if is_prime c then c else loop (c + 1) in
+  loop (k + 1)
+
+let palette_bound ~max_degree =
+  let q = smallest_prime_above (2 * max 1 max_degree) in
+  q * q
+
+let is_proper g colors =
+  Graph.fold_edges (fun u v acc -> acc && colors.(u) <> colors.(v)) g true
+
+(* digits of c in base q, least significant first, padded to d+1 entries *)
+let digits c ~q ~d =
+  let rec loop c k acc = if k > d then List.rev acc else loop (c / q) (k + 1) ((c mod q) :: acc) in
+  Array.of_list (loop c 0 [])
+
+let eval_poly coeffs x ~q =
+  Array.fold_right (fun a acc -> ((acc * x) + a) mod q) coeffs 0
+
+(* degree bound d and field size q for palette m and max degree delta:
+   smallest prime q with q^(d+1) >= m and q > d * delta *)
+let parameters ~m ~delta =
+  let rec try_q q =
+    let q = smallest_prime_above (q - 1) in
+    (* d+1 = number of base-q digits of m-1 *)
+    let rec digit_count v acc = if v = 0 then max 1 acc else digit_count (v / q) (acc + 1) in
+    let d = digit_count (max 0 (m - 1)) 0 - 1 in
+    if q > d * delta then (q, d) else try_q (q + 1)
+  in
+  try_q 2
+
+let reduce_step g ~m colors =
+  let n = Graph.n g in
+  if Array.length colors <> n then invalid_arg "Linial.reduce_step: size mismatch";
+  Array.iter
+    (fun c -> if c < 0 || c >= m then invalid_arg "Linial.reduce_step: colour out of range")
+    colors;
+  if not (is_proper g colors) then invalid_arg "Linial.reduce_step: input not proper";
+  let delta = max 1 (Graph.max_degree g) in
+  let q, d = parameters ~m ~delta in
+  let polys = Array.map (fun c -> digits c ~q ~d) colors in
+  let fresh =
+    Array.init n (fun v ->
+        let pv = polys.(v) in
+        let nbrs = Graph.neighbours g v in
+        let rec find x =
+          if x >= q then assert false (* q > d*delta guarantees a good x *)
+          else begin
+            let yv = eval_poly pv x ~q in
+            let clash =
+              Array.exists (fun u -> eval_poly polys.(u) x ~q = yv) nbrs
+            in
+            if clash then find (x + 1) else (x * q) + yv
+          end
+        in
+        find 0)
+  in
+  (fresh, q * q)
+
+let color g ~idents =
+  let n = Graph.n g in
+  if Array.length idents <> n then invalid_arg "Linial.color: size mismatch";
+  Array.iter (fun x -> if x < 0 then invalid_arg "Linial.color: negative identifier") idents;
+  let module S = Set.Make (Int) in
+  if S.cardinal (Array.fold_left (fun s x -> S.add x s) S.empty idents) <> n then
+    invalid_arg "Linial.color: identifiers must be distinct";
+  let m0 = 1 + Array.fold_left max 0 idents in
+  let rec loop colors m rounds =
+    let fresh, m' = reduce_step g ~m colors in
+    if m' >= m then { colors; rounds; final_palette = m }
+    else loop fresh m' (rounds + 1)
+  in
+  if n = 0 then { colors = [||]; rounds = 0; final_palette = 1 }
+  else loop (Array.copy idents) m0 0
+
+let reduce_to_delta_plus_one g ~m colors =
+  if not (is_proper g colors) then
+    invalid_arg "Linial.reduce_to_delta_plus_one: input not proper";
+  let delta = Graph.max_degree g in
+  let target = delta + 1 in
+  let colors = Array.copy colors in
+  let rounds = ref 0 in
+  for cls = m - 1 downto target do
+    (* every node knows the global schedule of classes, so each class costs
+       one synchronous round whether or not it is inhabited *)
+    incr rounds;
+    let fresh = Array.copy colors in
+    Array.iteri
+      (fun v c ->
+        if c = cls then
+          fresh.(v) <-
+            Asyncolor_util.Mex.of_list
+              (Array.to_list (Array.map (fun u -> colors.(u)) (Graph.neighbours g v))))
+      colors;
+    Array.blit fresh 0 colors 0 (Array.length colors)
+  done;
+  { colors; rounds = !rounds; final_palette = target }
+
+let color_delta_plus_one g ~idents =
+  let stalled = color g ~idents in
+  let slow = reduce_to_delta_plus_one g ~m:stalled.final_palette stalled.colors in
+  { slow with rounds = stalled.rounds + slow.rounds }

@@ -1,0 +1,1 @@
+lib/shm/mis.ml: Array Asyncolor_kernel Asyncolor_topology Format Fun List Option

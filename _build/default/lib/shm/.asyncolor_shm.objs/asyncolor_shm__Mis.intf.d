@@ -1,0 +1,1 @@
+lib/shm/mis.mli: Asyncolor_kernel Asyncolor_topology

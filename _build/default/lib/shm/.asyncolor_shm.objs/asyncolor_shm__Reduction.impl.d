@@ -1,0 +1,1 @@
+lib/shm/reduction.ml: Array Asyncolor_kernel Asyncolor_topology Format Fun

@@ -1,0 +1,1 @@
+lib/shm/reduction.mli: Asyncolor_kernel

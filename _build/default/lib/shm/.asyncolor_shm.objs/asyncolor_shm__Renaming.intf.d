@@ -1,0 +1,1 @@
+lib/shm/renaming.mli: Asyncolor_kernel

@@ -1,0 +1,1 @@
+lib/shm/ssb.mli: Format

@@ -1,0 +1,31 @@
+(** The reduction of Property 2.1: a wait-free MIS protocol for the cycle
+    [C_n] yields a wait-free strong-symmetry-breaking protocol for the
+    [n]-process shared-memory system.
+
+    Shared-memory process [p_i] simulates cycle node [i]: it publishes the
+    register the simulated node would write and, although it can read all
+    [n] registers (the shared-memory system is the state model on the
+    complete graph), it only feeds the registers of [i ± 1 mod n] to the
+    simulated node.  The SSB output is the MIS bit.
+
+    Since no wait-free MIS protocol exists (that is the point of
+    Property 2.1), the functor is exercised on the foils of {!Mis}: it
+    faithfully transports both their behaviours — and their failures —
+    into the shared-memory model. *)
+
+module Make (M : Asyncolor_kernel.Protocol.S with type output = bool) : sig
+  type fields = { me : int; inner : M.state }
+
+  module P :
+    Asyncolor_kernel.Protocol.S
+      with type state = fields
+       and type register = M.register
+       and type output = int
+
+  module E : module type of Asyncolor_kernel.Engine.Make (P)
+
+  val run :
+    ?max_steps:int -> n:int -> Asyncolor_kernel.Adversary.t -> E.run_result
+  (** Run the simulation among [n >= 3] shared-memory processes; process
+      [i] simulates cycle node [i] with identifier [i]. *)
+end

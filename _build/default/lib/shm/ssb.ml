@@ -1,0 +1,22 @@
+type outcome = int option array
+
+let all_terminated o = Array.for_all Option.is_some o
+
+let condition_both_sides o =
+  if not (all_terminated o) then true
+  else
+    Array.exists (fun v -> v = Some 0) o && Array.exists (fun v -> v = Some 1) o
+
+let condition_some_one o =
+  Array.for_all Option.is_none o || Array.exists (fun v -> v = Some 1) o
+
+let valid o = condition_both_sides o && condition_some_one o
+
+let pp ppf o =
+  Format.fprintf ppf "[%a]"
+    Format.(
+      pp_print_seq ~pp_sep:(fun ppf () -> pp_print_string ppf ";") (fun ppf v ->
+          match v with
+          | None -> pp_print_string ppf "⊥"
+          | Some b -> pp_print_int ppf b))
+    (Array.to_seq o)

@@ -1,0 +1,1 @@
+lib/topology/builders.ml: Array Asyncolor_util Graph List Set

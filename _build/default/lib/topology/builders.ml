@@ -1,0 +1,103 @@
+module Prng = Asyncolor_util.Prng
+
+let cycle n =
+  if n < 3 then invalid_arg "Builders.cycle: need n >= 3";
+  Graph.make ~n ~edges:(List.init n (fun i -> (i, (i + 1) mod n)))
+
+let path n =
+  if n < 1 then invalid_arg "Builders.path: need n >= 1";
+  Graph.make ~n ~edges:(List.init (n - 1) (fun i -> (i, i + 1)))
+
+let complete n =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.make ~n ~edges:!edges
+
+let star n =
+  if n < 2 then invalid_arg "Builders.star: need n >= 2";
+  Graph.make ~n ~edges:(List.init (n - 1) (fun i -> (0, i + 1)))
+
+let grid w h =
+  if w < 1 || h < 1 then invalid_arg "Builders.grid: need w, h >= 1";
+  let idx x y = (y * w) + x in
+  let edges = ref [] in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      if x + 1 < w then edges := (idx x y, idx (x + 1) y) :: !edges;
+      if y + 1 < h then edges := (idx x y, idx x (y + 1)) :: !edges
+    done
+  done;
+  Graph.make ~n:(w * h) ~edges:!edges
+
+let torus w h =
+  if w < 3 || h < 3 then invalid_arg "Builders.torus: need w, h >= 3";
+  let idx x y = (y * w) + x in
+  let edges = ref [] in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      edges := (idx x y, idx ((x + 1) mod w) y) :: !edges;
+      edges := (idx x y, idx x ((y + 1) mod h)) :: !edges
+    done
+  done;
+  Graph.make ~n:(w * h) ~edges:!edges
+
+let petersen () =
+  let outer = List.init 5 (fun i -> (i, (i + 1) mod 5)) in
+  let spokes = List.init 5 (fun i -> (i, i + 5)) in
+  let inner = List.init 5 (fun i -> (5 + i, 5 + ((i + 2) mod 5))) in
+  Graph.make ~n:10 ~edges:(outer @ spokes @ inner)
+
+let hypercube d =
+  if d < 0 || d > 20 then invalid_arg "Builders.hypercube: need 0 <= d <= 20";
+  let n = 1 lsl d in
+  let edges = ref [] in
+  for v = 0 to n - 1 do
+    for bit = 0 to d - 1 do
+      let u = v lxor (1 lsl bit) in
+      if v < u then edges := (v, u) :: !edges
+    done
+  done;
+  Graph.make ~n ~edges:!edges
+
+(* Pairing (configuration) model: put d copies of each node in an urn,
+   shuffle, pair consecutive entries; restart on loops or multi-edges.  For
+   the small d used in experiments the expected number of restarts is O(1). *)
+let random_regular prng ~n ~d =
+  if d < 0 then invalid_arg "Builders.random_regular: negative degree";
+  if d >= n then invalid_arg "Builders.random_regular: need d < n";
+  if n * d mod 2 = 1 then invalid_arg "Builders.random_regular: n*d must be even";
+  let stubs = Array.init (n * d) (fun i -> i / d) in
+  let module S = Set.Make (struct
+    type t = int * int
+
+    let compare = compare
+  end) in
+  let rec attempt remaining =
+    if remaining = 0 then
+      failwith "Builders.random_regular: too many restarts (degree too dense?)";
+    Prng.shuffle prng stubs;
+    let rec pair i acc =
+      if i >= Array.length stubs then Some acc
+      else
+        let u = stubs.(i) and v = stubs.(i + 1) in
+        let e = if u < v then (u, v) else (v, u) in
+        if u = v || S.mem e acc then None else pair (i + 2) (S.add e acc)
+    in
+    match pair 0 S.empty with
+    | Some acc -> Graph.make ~n ~edges:(S.elements acc)
+    | None -> attempt (remaining - 1)
+  in
+  attempt 10_000
+
+let gnp prng ~n ~p =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Prng.float prng 1.0 < p then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.make ~n ~edges:!edges

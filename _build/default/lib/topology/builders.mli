@@ -1,0 +1,41 @@
+(** Standard graph families used by the experiments.
+
+    All builders return validated {!Graph.t} values.  Random builders take a
+    {!Asyncolor_util.Prng.t} so that workloads are reproducible. *)
+
+val cycle : int -> Graph.t
+(** [cycle n] is the cycle [C_n].  @raise Invalid_argument if [n < 3]. *)
+
+val path : int -> Graph.t
+(** [path n] is the path on [n] nodes.  @raise Invalid_argument if [n < 1]. *)
+
+val complete : int -> Graph.t
+(** [complete n] is the clique [K_n].  For [n = 3] this coincides with [C_3],
+    the case where the state model equals the shared-memory model. *)
+
+val star : int -> Graph.t
+(** [star n] has centre [0] and leaves [1 .. n-1].
+    @raise Invalid_argument if [n < 2]. *)
+
+val grid : int -> int -> Graph.t
+(** [grid w h] is the [w*h] grid; node [(x, y)] is index [y*w + x].
+    @raise Invalid_argument if [w < 1] or [h < 1]. *)
+
+val torus : int -> int -> Graph.t
+(** [grid] with wrap-around rows and columns; max degree 4.
+    @raise Invalid_argument if [w < 3] or [h < 3]. *)
+
+val petersen : unit -> Graph.t
+(** The Petersen graph: 10 nodes, 3-regular. *)
+
+val hypercube : int -> Graph.t
+(** [hypercube d] is the [d]-dimensional cube on [2^d] nodes.
+    @raise Invalid_argument if [d < 0] or [d > 20]. *)
+
+val random_regular : Asyncolor_util.Prng.t -> n:int -> d:int -> Graph.t
+(** [random_regular prng ~n ~d] samples a simple [d]-regular graph on [n]
+    nodes by the pairing model with restarts.
+    @raise Invalid_argument if [n*d] is odd, [d >= n], or [d < 0]. *)
+
+val gnp : Asyncolor_util.Prng.t -> n:int -> p:float -> Graph.t
+(** Erdős–Rényi [G(n, p)]. *)

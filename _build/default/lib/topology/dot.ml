@@ -1,0 +1,30 @@
+let palette =
+  [| "#e6194b"; "#3cb44b"; "#ffe119"; "#4363d8"; "#f58231"; "#911eb4"; "#46f0f0";
+     "#f032e6"; "#bcf60c"; "#fabebe" |]
+
+let to_string ?labels ?colors g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "graph asyncolor {\n  node [style=filled];\n";
+  for v = 0 to Graph.n g - 1 do
+    let label = match labels with Some f -> f v | None -> string_of_int v in
+    let fill =
+      match colors with
+      | Some f -> (
+          match f v with
+          | Some c -> Printf.sprintf ", fillcolor=\"%s\"" palette.(c mod Array.length palette)
+          | None -> ", fillcolor=\"#ffffff\"")
+      | None -> ""
+    in
+    Buffer.add_string buf (Printf.sprintf "  %d [label=\"%s\"%s];\n" v label fill)
+  done;
+  List.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file path ?labels ?colors g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?labels ?colors g))

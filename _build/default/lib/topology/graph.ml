@@ -1,0 +1,78 @@
+type t = { adj : int array array }
+
+let n t = Array.length t.adj
+
+let make ~n:nodes ~edges =
+  if nodes < 0 then invalid_arg "Graph.make: negative node count";
+  let check v =
+    if v < 0 || v >= nodes then
+      invalid_arg (Printf.sprintf "Graph.make: node %d out of range [0,%d)" v nodes)
+  in
+  let module S = Set.Make (struct
+    type t = int * int
+
+    let compare = compare
+  end) in
+  let canon (u, v) =
+    check u;
+    check v;
+    if u = v then invalid_arg "Graph.make: self-loop";
+    if u < v then (u, v) else (v, u)
+  in
+  let edge_set = List.fold_left (fun s e -> S.add (canon e) s) S.empty edges in
+  let buckets = Array.make nodes [] in
+  S.iter
+    (fun (u, v) ->
+      buckets.(u) <- v :: buckets.(u);
+      buckets.(v) <- u :: buckets.(v))
+    edge_set;
+  { adj = Array.map (fun l -> Array.of_list (List.sort compare l)) buckets }
+
+let neighbours t v = t.adj.(v)
+
+let degree t v = Array.length t.adj.(v)
+
+let m t = Array.fold_left (fun acc a -> acc + Array.length a) 0 t.adj / 2
+
+let max_degree t = Array.fold_left (fun acc a -> max acc (Array.length a)) 0 t.adj
+
+let mem_edge t u v = Array.exists (fun w -> w = v) t.adj.(u)
+
+let fold_edges f t init =
+  let acc = ref init in
+  Array.iteri
+    (fun u nbrs -> Array.iter (fun v -> if u < v then acc := f u v !acc) nbrs)
+    t.adj;
+  !acc
+
+let edges t = List.rev (fold_edges (fun u v acc -> (u, v) :: acc) t [])
+
+let is_connected t =
+  let nodes = n t in
+  if nodes <= 1 then true
+  else begin
+    let seen = Array.make nodes false in
+    let rec dfs v =
+      if not seen.(v) then begin
+        seen.(v) <- true;
+        Array.iter dfs t.adj.(v)
+      end
+    in
+    dfs 0;
+    Array.for_all Fun.id seen
+  end
+
+let is_cycle t =
+  n t >= 3 && Array.for_all (fun a -> Array.length a = 2) t.adj && is_connected t
+
+let equal a b = a.adj = b.adj
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>graph on %d nodes, %d edges" (n t) (m t);
+  Array.iteri
+    (fun v nbrs ->
+      Format.fprintf ppf "@,  %d: %a" v
+        Format.(pp_print_list ~pp_sep:(fun ppf () -> pp_print_string ppf " ") pp_print_int)
+        (Array.to_list nbrs))
+    t.adj;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,48 @@
+(** Finite simple undirected graphs.
+
+    The communication topology of the state model: process [p] may read the
+    registers of exactly its neighbours.  Nodes are [0 .. n-1].  Graphs are
+    immutable after construction and validated to be simple (no loops, no
+    parallel edges) and symmetric. *)
+
+type t
+
+val make : n:int -> edges:(int * int) list -> t
+(** [make ~n ~edges] builds the graph on [n] nodes with the given undirected
+    edges.  Duplicate edges and both orientations are tolerated and merged.
+    @raise Invalid_argument on out-of-range endpoints, self-loops, or
+    [n < 0]. *)
+
+val n : t -> int
+(** Number of nodes. *)
+
+val m : t -> int
+(** Number of (undirected) edges. *)
+
+val neighbours : t -> int -> int array
+(** [neighbours g v] is the sorted array of neighbours of [v].  The returned
+    array is owned by the graph: callers must not mutate it. *)
+
+val degree : t -> int -> int
+
+val max_degree : t -> int
+(** 0 for the empty graph. *)
+
+val mem_edge : t -> int -> int -> bool
+
+val edges : t -> (int * int) list
+(** All edges, each as [(u, v)] with [u < v], sorted. *)
+
+val fold_edges : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val is_connected : t -> bool
+(** True on the empty and one-node graphs. *)
+
+val is_cycle : t -> bool
+(** [is_cycle g] holds iff [g] is a simple cycle on [n >= 3] nodes
+    (connected and 2-regular). *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable summary: node count and adjacency lists. *)

@@ -1,0 +1,1 @@
+lib/util/mex.ml: List

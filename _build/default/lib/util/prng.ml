@@ -1,0 +1,70 @@
+(* SplitMix64 (Steele, Lea, Flood 2014).  The generator is a 64-bit counter
+   advanced by the golden-gamma constant; each output is a finalizing hash of
+   the counter.  Splitting hands out the hash of the current counter as the
+   seed of the child stream. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create ~seed = { state = mix (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = { state = mix (bits64 t) }
+
+(* Rejection sampling on the top bits keeps the distribution uniform. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let bound64 = Int64.of_int bound in
+  let mask = Int64.max_int in
+  let rec draw () =
+    let r = Int64.logand (bits64 t) mask in
+    let v = Int64.rem r bound64 in
+    (* Reject the partial final block to avoid modulo bias. *)
+    if Int64.sub r v > Int64.sub (Int64.sub mask bound64) Int64.one then draw ()
+    else Int64.to_int v
+  in
+  draw ()
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let float t x =
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  x *. (r /. 9007199254740992.0 (* 2^53 *))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Prng.choose: empty array";
+  a.(int t (Array.length a))
+
+let sample_without_replacement t k n =
+  if k < 0 || k > n then invalid_arg "Prng.sample_without_replacement";
+  (* Floyd's algorithm: k iterations, set-backed. *)
+  let module S = Set.Make (Int) in
+  let set = ref S.empty in
+  for j = n - k to n - 1 do
+    let v = int t (j + 1) in
+    set := if S.mem v !set then S.add j !set else S.add v !set
+  done;
+  S.elements !set

@@ -1,0 +1,1 @@
+lib/workload/idents.ml: Array Asyncolor_util Fun Int Set

@@ -1,0 +1,1 @@
+lib/workload/idents.mli: Asyncolor_util

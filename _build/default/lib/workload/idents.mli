@@ -1,0 +1,37 @@
+(** Identifier-assignment workloads.
+
+    The running time of Algorithms 1–2 is governed by the longest monotone
+    chain of identifiers around the cycle (Lemma 3.9, Remark 3.10), so the
+    choice of identifier workload *is* the benchmark workload.  All
+    generators return an array of pairwise-distinct naturals, one per node
+    in cycle order. *)
+
+val increasing : int -> int array
+(** [0, 1, …, n-1]: one monotone chain spanning the whole cycle — the
+    worst case for Algorithms 1 and 2, the showcase for Algorithm 3. *)
+
+val decreasing : int -> int array
+
+val zigzag : int -> int array
+(** Alternating low/high ([0, n, 1, n+1, …]): every node is a local
+    extremum or adjacent to one — the best case for Algorithms 1–2. *)
+
+val random_permutation : Asyncolor_util.Prng.t -> int -> int array
+(** Uniform permutation of [0 .. n-1]. *)
+
+val random_sparse : Asyncolor_util.Prng.t -> n:int -> universe:int -> int array
+(** [n] distinct identifiers drawn from [\[0, universe)] — the paper's
+    [poly(n)]-sized name space.  @raise Invalid_argument if
+    [universe < n]. *)
+
+val bit_adversarial : int -> int array
+(** Identifiers engineered so consecutive nodes differ only in a high bit
+    (Gray-code-like), slowing the Cole–Vishkin reduction: stresses
+    experiment E9. *)
+
+val longest_monotone_run : int array -> int
+(** Length (number of edges) of the longest run of consecutive positions
+    around the cycle with strictly monotone identifiers; drives the
+    Theorem 3.1/3.11 bounds. *)
+
+val is_injective : int array -> bool

@@ -1,0 +1,21 @@
+(** Plain-text tables for the experiment harness (aligned columns,
+    markdown-compatible). *)
+
+type t
+
+val create : headers:string list -> t
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the header. *)
+
+val row_int : int list -> string list
+val to_string : t -> string
+
+val to_csv : t -> string
+(** RFC-4180-style CSV: header row then data rows; cells containing commas,
+    quotes or newlines are quoted. *)
+
+val write_csv : string -> t -> unit
+(** [write_csv path t] writes {!to_csv} to [path]. *)
+
+val print : t -> unit
+(** Write to stdout with a trailing newline. *)

@@ -1,0 +1,1 @@
+test/test_alg2.ml: Alcotest Array Asyncolor Asyncolor_check Asyncolor_kernel Asyncolor_topology Asyncolor_util Asyncolor_workload Fun Int List Printf QCheck QCheck_alcotest String

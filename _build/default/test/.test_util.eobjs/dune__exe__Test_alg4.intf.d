@@ -1,0 +1,1 @@
+test/test_alg4.mli:

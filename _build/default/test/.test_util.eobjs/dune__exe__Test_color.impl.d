@@ -1,0 +1,1 @@
+test/test_color.ml: Alcotest Array Astring Asyncolor Asyncolor_experiments Asyncolor_topology Asyncolor_workload Filename Format Fun Int List QCheck QCheck_alcotest Sys

@@ -1,0 +1,1 @@
+test/test_cv.ml: Alcotest Asyncolor_cv Fun Gen List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Astring Asyncolor Asyncolor_kernel Asyncolor_topology Asyncolor_util Asyncolor_workload Format Gen Int List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_lemmas.ml: Alcotest Array Asyncolor Asyncolor_kernel Asyncolor_topology Asyncolor_util Asyncolor_workload Fun List Printf QCheck QCheck_alcotest

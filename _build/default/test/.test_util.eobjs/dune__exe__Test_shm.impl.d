@@ -1,0 +1,1 @@
+test/test_shm.ml: Alcotest Array Asyncolor_kernel Asyncolor_shm Asyncolor_topology Asyncolor_util Asyncolor_workload Fun Gen List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Astring Asyncolor_topology Asyncolor_util QCheck QCheck_alcotest

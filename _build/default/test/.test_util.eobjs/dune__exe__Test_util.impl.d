@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Asyncolor_util Float Fun List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Astring Asyncolor_util Asyncolor_workload Gen QCheck QCheck_alcotest

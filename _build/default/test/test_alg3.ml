@@ -1,0 +1,228 @@
+(* Tests for Algorithm 3 (wait-free 5-colouring in O(log* n), paper §4):
+   the Lemma 4.5 identifier invariant monitored at every step, identifier
+   monotonicity, rank monotonicity, Theorem 4.4 sweeps at large n, and
+   exhaustive checks on C3. *)
+
+module A3 = Asyncolor.Algorithm3
+module Rank = Asyncolor.Rank
+module Color = Asyncolor.Color
+module Checker = Asyncolor.Checker
+module Status = Asyncolor_kernel.Status
+module Adversary = Asyncolor_kernel.Adversary
+module Builders = Asyncolor_topology.Builders
+module Idents = Asyncolor_workload.Idents
+module Prng = Asyncolor_util.Prng
+module Logstar = Asyncolor_cv.Logstar
+module Explorer = Asyncolor_check.Explorer.Make (A3.P)
+
+let check = Alcotest.check
+let qtest t = QCheck_alcotest.to_alcotest t
+
+let validate n outputs =
+  Checker.check ~equal:Int.equal ~in_palette:Color.in_five (Builders.cycle n) outputs
+
+(* --- rank ------------------------------------------------------------ *)
+
+let test_rank_order () =
+  check Alcotest.bool "0 <= inf" true Rank.(zero <= Inf);
+  check Alcotest.bool "inf <= 0 fails" false Rank.(Inf <= zero);
+  check Alcotest.bool "inf <= inf" true Rank.(Inf <= Inf);
+  check Alcotest.int "compare fin" (-1) (Rank.compare (Rank.Fin 1) (Rank.Fin 2));
+  check Alcotest.bool "succ fin" true (Rank.equal (Rank.succ (Rank.Fin 3)) (Rank.Fin 4));
+  check Alcotest.bool "succ inf" true (Rank.equal (Rank.succ Rank.Inf) Rank.Inf);
+  check Alcotest.bool "min" true (Rank.equal (Rank.min Rank.Inf (Rank.Fin 7)) (Rank.Fin 7));
+  check Alcotest.bool "finite" true (Rank.is_finite Rank.zero);
+  check Alcotest.bool "inf not finite" false (Rank.is_finite Rank.Inf)
+
+(* --- pinned scenarios ------------------------------------------------- *)
+
+let test_solo_returns () =
+  let e = A3.E.create (Builders.cycle 3) ~idents:[| 12; 47; 30 |] in
+  A3.E.activate e [ 2 ];
+  check Alcotest.(option int) "solo returns 0" (Some 0)
+    (Status.output (A3.E.status e 2))
+
+let test_identifier_coloring_invariant_monitored () =
+  (* Lemma 4.5 asserted at EVERY time step of adversarial runs. *)
+  List.iter
+    (fun seed ->
+      let n = 24 in
+      let prng = Prng.create ~seed in
+      let idents = Idents.random_sparse (Prng.split prng) ~n ~universe:(n * n) in
+      let e = A3.E.create (Builders.cycle n) ~idents in
+      A3.E.set_monitor e A3.monitor_identifier_coloring;
+      let r = A3.E.run e (Adversary.random_subsets (Prng.split prng) ~p:0.5) in
+      check Alcotest.bool "terminated" true r.all_returned;
+      check Alcotest.bool "proper" true (Checker.ok (validate n r.outputs)))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_identifiers_never_increase () =
+  let n = 16 in
+  let idents = Idents.increasing n in
+  let e = A3.E.create (Builders.cycle n) ~idents in
+  let prev = Array.map (fun x -> x) idents in
+  A3.E.set_monitor e (fun e ->
+      for p = 0 to n - 1 do
+        match A3.E.status e p with
+        | Status.Working ->
+            let x = (A3.E.state e p).A3.x in
+            if x > prev.(p) then Alcotest.failf "X increased at p%d" p;
+            prev.(p) <- x
+        | Status.Asleep | Status.Returned _ -> ()
+      done);
+  ignore (A3.E.run e Adversary.synchronous)
+
+let test_ranks_never_decrease () =
+  let n = 16 in
+  let e = A3.E.create (Builders.cycle n) ~idents:(Idents.increasing n) in
+  let prev = Array.make n Rank.zero in
+  A3.E.set_monitor e (fun e ->
+      for p = 0 to n - 1 do
+        match A3.E.status e p with
+        | Status.Working ->
+            let r = (A3.E.state e p).A3.r in
+            if not Rank.(prev.(p) <= r) then Alcotest.failf "rank decreased at p%d" p;
+            prev.(p) <- r
+        | Status.Asleep | Status.Returned _ -> ()
+      done);
+  ignore (A3.E.run e Adversary.synchronous)
+
+let test_blocked_neighbour_does_not_block_coloring () =
+  (* A crashed neighbour freezes its r forever; the colouring component
+     must still terminate (wait-freedom does not rest on lines 11-19). *)
+  let idents = Idents.increasing 8 in
+  let adv = Adversary.crash ~at:2 ~procs:[ 0; 4 ] Adversary.round_robin in
+  let r = A3.run_on_cycle ~idents adv in
+  check Alcotest.bool "survivors done or crashed" true
+    (r.all_returned || r.schedule_ended);
+  check Alcotest.bool "proper" true (Checker.ok (validate 8 r.outputs))
+
+let test_lemma_4_6_local_max_stays_max () =
+  (* Once X_p is a local maximum it stays one: neighbours only decrease. *)
+  let n = 10 in
+  let idents = Idents.random_permutation (Prng.create ~seed:77) n in
+  let e = A3.E.create (Builders.cycle n) ~idents in
+  let was_max = Array.make n false in
+  A3.E.set_monitor e (fun e ->
+      (* Paper definition: p is a local maximum at time t if its (private)
+         X_p exceeds both neighbours' *published* identifiers. *)
+      let published p =
+        Option.map (fun (r : A3.fields) -> r.A3.x) (A3.E.public e p)
+      in
+      let private_x p =
+        match A3.E.status e p with
+        | Status.Working -> Some (A3.E.state e p).A3.x
+        | Status.Asleep -> None
+        | Status.Returned _ -> published p
+      in
+      for p = 0 to n - 1 do
+        match private_x p with
+        | None -> ()
+        | Some xp ->
+            let lo = published ((p + n - 1) mod n)
+            and hi = published ((p + 1) mod n) in
+            let is_max =
+              (match lo with Some v -> xp > v | None -> false)
+              && match hi with Some v -> xp > v | None -> false
+            in
+            if was_max.(p) && not is_max then
+              Alcotest.failf "p%d stopped being a local max" p;
+            if is_max then was_max.(p) <- true
+      done);
+  ignore (A3.E.run e Adversary.synchronous)
+
+(* --- Theorem 4.4 ------------------------------------------------------ *)
+
+let prop_logstar_rounds_random =
+  QCheck.Test.make ~name:"Theorem 4.4: rounds <= O(log* n), random idents"
+    ~count:100
+    QCheck.(pair (int_range 3 2000) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let prng = Prng.create ~seed in
+      let idents = Idents.random_sparse (Prng.split prng) ~n ~universe:(max 64 (n * n)) in
+      let r = A3.run_on_cycle ~idents (Adversary.random_subsets (Prng.split prng) ~p:0.6) in
+      r.all_returned
+      && r.rounds <= A3.activation_bound n
+      && Checker.ok (validate n r.outputs))
+
+let prop_logstar_rounds_monotone =
+  QCheck.Test.make ~name:"Theorem 4.4: monotone chains collapse" ~count:20
+    QCheck.(int_range 64 4096)
+    (fun n ->
+      let r = A3.run_on_cycle ~idents:(Idents.increasing n) Adversary.synchronous in
+      (* flat in n: a fixed small constant suffices empirically *)
+      r.all_returned && r.rounds <= 8 + (2 * Logstar.log_star_int n))
+
+let test_large_ring () =
+  let n = 1 lsl 17 in
+  let idents = Idents.increasing n in
+  let r = A3.run_on_cycle ~idents Adversary.synchronous in
+  check Alcotest.bool "terminates" true r.all_returned;
+  check Alcotest.bool "few rounds" true (r.rounds <= 16);
+  check Alcotest.bool "proper" true (Checker.ok (validate n r.outputs))
+
+(* --- exhaustive -------------------------------------------------------- *)
+
+let test_exhaustive_interleaved_c3 () =
+  List.iter
+    (fun idents ->
+      let g = Builders.cycle 3 in
+      let check_outputs outs =
+        if Checker.ok (validate 3 outs) then None else Some "bad colouring"
+      in
+      let check_config e =
+        match A3.monitor_identifier_coloring e with
+        | () -> None
+        | exception Failure msg -> Some msg
+      in
+      let r = Explorer.explore ~mode:`Singletons g ~idents ~check_outputs ~check_config in
+      check Alcotest.bool "complete" true r.complete;
+      check Alcotest.bool "wait-free interleaved" true r.wait_free;
+      check Alcotest.int "no violations (colouring + Lemma 4.5)" 0
+        (List.length r.safety))
+    [ [| 12; 47; 30 |]; [| 0; 1; 2 |]; [| 100; 10; 55 |] ]
+
+let test_exhaustive_interleaved_c4 () =
+  let g = Builders.cycle 4 in
+  let r = Explorer.explore ~mode:`Singletons g ~idents:[| 12; 47; 30; 21 |] in
+  check Alcotest.bool "complete" true r.complete;
+  check Alcotest.bool "wait-free" true r.wait_free;
+  check Alcotest.bool "small exact worst" true (r.worst_case_activations <= 6)
+
+let test_exhaustive_simultaneous_lock () =
+  let g = Builders.cycle 3 in
+  let r = Explorer.explore g ~idents:[| 12; 47; 30 |] in
+  check Alcotest.bool "complete" true r.complete;
+  check Alcotest.bool "F1 also affects Algorithm 3" false r.wait_free
+
+let () =
+  Alcotest.run "algorithm3"
+    [
+      ("rank", [ Alcotest.test_case "order" `Quick test_rank_order ]);
+      ( "scenarios",
+        [
+          Alcotest.test_case "solo returns" `Quick test_solo_returns;
+          Alcotest.test_case "Lemma 4.5 monitored" `Quick
+            test_identifier_coloring_invariant_monitored;
+          Alcotest.test_case "X never increases" `Quick test_identifiers_never_increase;
+          Alcotest.test_case "ranks never decrease" `Quick test_ranks_never_decrease;
+          Alcotest.test_case "crashes don't block colouring" `Quick
+            test_blocked_neighbour_does_not_block_coloring;
+          Alcotest.test_case "Lemma 4.6: local max stays" `Quick
+            test_lemma_4_6_local_max_stays_max;
+        ] );
+      ( "theorem 4.4",
+        [
+          qtest prop_logstar_rounds_random;
+          qtest prop_logstar_rounds_monotone;
+          Alcotest.test_case "ring of 131072" `Slow test_large_ring;
+        ] );
+      ( "exhaustive",
+        [
+          Alcotest.test_case "interleaved C3 (+Lemma 4.5)" `Slow
+            test_exhaustive_interleaved_c3;
+          Alcotest.test_case "interleaved C4" `Slow test_exhaustive_interleaved_c4;
+          Alcotest.test_case "simultaneous C3 locks" `Slow
+            test_exhaustive_simultaneous_lock;
+        ] );
+    ]

@@ -1,0 +1,247 @@
+(* Tests for the model checker itself, on protocols whose configuration
+   graphs are known by construction. *)
+
+module Explorer = Asyncolor_check.Explorer
+module Step = Asyncolor_kernel.Step
+module Adversary = Asyncolor_kernel.Adversary
+module Builders = Asyncolor_topology.Builders
+
+let check = Alcotest.check
+
+(* Returns its identifier at the k-th activation. *)
+module Count (K : sig
+  val k : int
+end) =
+struct
+  type state = { ident : int; left : int }
+  type register = unit
+  type output = int
+
+  let name = "count"
+  let init ~ident = { ident; left = K.k }
+  let publish _ = ()
+
+  let transition s ~view:_ =
+    if s.left <= 1 then Step.Return s.ident else Step.Continue { s with left = s.left - 1 }
+
+  let equal_state a b = a = b
+  let equal_register () () = true
+  let pp_state ppf s = Format.fprintf ppf "%d" s.left
+  let pp_register ppf () = Format.pp_print_string ppf "()"
+  let pp_output = Format.pp_print_int
+end
+
+(* Never returns: every configuration with a working process is a self-loop. *)
+module Forever = struct
+  type state = unit
+  type register = unit
+  type output = int
+
+  let name = "forever"
+  let init ~ident:_ = ()
+  let publish () = ()
+  let transition () ~view:_ = Step.Continue ()
+  let equal_state () () = true
+  let equal_register () () = true
+  let pp_state ppf () = Format.pp_print_string ppf "()"
+  let pp_register ppf () = Format.pp_print_string ppf "()"
+  let pp_output = Format.pp_print_int
+end
+
+module One = Count (struct
+  let k = 1
+end)
+
+module Three = Count (struct
+  let k = 3
+end)
+
+let g3 = Builders.cycle 3
+
+let test_immediate_return () =
+  let module E = Explorer.Make (One) in
+  let r = E.explore g3 ~idents:[| 0; 1; 2 |] in
+  check Alcotest.bool "complete" true r.complete;
+  check Alcotest.bool "wait-free" true r.wait_free;
+  check Alcotest.int "exact worst = 1 activation" 1 r.worst_case_activations;
+  (* states are {asleep, returned}^3 minus all-asleep...: reachable are
+     exactly the 8 subsets of returned processes *)
+  check Alcotest.int "configs = 2^3" 8 r.configs;
+  check Alcotest.int "one terminal" 1 r.terminal_configs
+
+let test_counting_protocol_worst_case () =
+  let module E = Explorer.Make (Three) in
+  let r = E.explore g3 ~idents:[| 0; 1; 2 |] in
+  check Alcotest.bool "wait-free" true r.wait_free;
+  check Alcotest.int "exact worst = 3" 3 r.worst_case_activations;
+  check Alcotest.int "configs = 4^3" 64 r.configs
+
+let test_livelock_detected () =
+  let module E = Explorer.Make (Forever) in
+  let r = E.explore g3 ~idents:[| 0; 1; 2 |] in
+  check Alcotest.bool "complete" true r.complete;
+  check Alcotest.bool "not wait-free" false r.wait_free;
+  match r.livelock with
+  | None -> Alcotest.fail "lasso expected"
+  | Some v ->
+      check Alcotest.bool "non-empty schedule" true (v.schedule <> []);
+      (* replay: the lasso's last step must activate a working process of an
+         unchanged configuration — running it in an engine never returns *)
+      let e = E.E.create g3 ~idents:[| 0; 1; 2 |] in
+      List.iter (fun set -> E.E.activate e set) v.schedule;
+      check Alcotest.bool "still unfinished" true (E.E.unfinished e <> [])
+
+let test_singleton_mode_smaller () =
+  let module E = Explorer.Make (Three) in
+  let all = E.explore g3 ~idents:[| 0; 1; 2 |] in
+  let single = E.explore ~mode:`Singletons g3 ~idents:[| 0; 1; 2 |] in
+  check Alcotest.bool "both complete" true (all.complete && single.complete);
+  check Alcotest.bool "singleton graph no bigger" true (single.transitions <= all.transitions);
+  check Alcotest.int "same worst case (independent steps)" all.worst_case_activations
+    single.worst_case_activations
+
+let test_safety_violation_reported_with_schedule () =
+  let module E = Explorer.Make (Asyncolor_shm.Mis.Greedy.P) in
+  let check_outputs outs =
+    if Asyncolor_shm.Mis.valid g3 outs then None else Some "MIS violated"
+  in
+  let r = E.explore g3 ~idents:[| 0; 1; 2 |] ~check_outputs in
+  check Alcotest.bool "violations found" true (r.safety <> []);
+  let v = List.hd r.safety in
+  check Alcotest.string "message" "MIS violated" v.message;
+  (* the witness schedule must actually reproduce the violation *)
+  let module GE = Asyncolor_shm.Mis.Greedy.E in
+  let e = GE.create g3 ~idents:[| 0; 1; 2 |] in
+  let res = GE.run e (Adversary.finite v.schedule) in
+  check Alcotest.bool "replayed violation" false
+    (Asyncolor_shm.Mis.valid g3 res.outputs)
+
+let test_max_configs_truncation () =
+  let module E = Explorer.Make (Three) in
+  let r = E.explore ~max_configs:10 g3 ~idents:[| 0; 1; 2 |] in
+  check Alcotest.bool "incomplete" false r.complete;
+  check Alcotest.bool "capped" true (r.configs <= 10);
+  check Alcotest.int "worst undefined when incomplete" (-1) r.worst_case_activations
+
+let test_max_violations_cap () =
+  let module E = Explorer.Make (Asyncolor_shm.Mis.Greedy.P) in
+  let check_outputs outs =
+    if Asyncolor_shm.Mis.valid g3 outs then None else Some "v"
+  in
+  let r = E.explore ~max_violations:2 g3 ~idents:[| 0; 1; 2 |] ~check_outputs in
+  check Alcotest.bool "capped at 2" true (List.length r.safety <= 2)
+
+(* --- lockhunt ---------------------------------------------------------- *)
+
+let test_lockhunt_alg1_immune () =
+  let module H = Asyncolor_check.Lockhunt.Make (Asyncolor.Algorithm1.P) in
+  let g = Builders.cycle 16 in
+  let idents = Asyncolor_workload.Idents.random_permutation
+      (Asyncolor_util.Prng.create ~seed:42) 16
+  in
+  check Alcotest.(list (pair int int)) "no pair locks Algorithm 1" []
+    (H.locked (H.hunt g ~idents))
+
+let test_lockhunt_alg2_finds_locks () =
+  let module H = Asyncolor_check.Lockhunt.Make (Asyncolor.Algorithm2.P) in
+  let g = Builders.cycle 32 in
+  let idents = Asyncolor_workload.Idents.random_permutation
+      (Asyncolor_util.Prng.create ~seed:33) 32
+  in
+  let findings = H.hunt g ~idents in
+  let locked = H.locked findings in
+  check Alcotest.bool "at least one pair locks" true (locked <> []);
+  (* every reported lock is genuine: both processes worked for ~the whole
+     step budget without returning *)
+  List.iter
+    (fun (f : H.finding) ->
+      if f.locked then begin
+        let a, b = f.pair_activations in
+        check Alcotest.bool "pair really worked" true (a > 100 && b > 100)
+      end)
+    findings
+
+let test_lockhunt_probe_single_pair () =
+  let module H = Asyncolor_check.Lockhunt.Make (Asyncolor.Algorithm2.P) in
+  let g = Builders.cycle 3 in
+  (* the F1 pair on C3 (5,1,9): isolating (1,2) drains p0 then locks *)
+  let f = H.probe g ~idents:[| 5; 1; 9 |] (1, 2) in
+  check Alcotest.bool "locks" true f.locked
+
+(* --- adaptive adversary ------------------------------------------------- *)
+
+module Adaptive2 = Asyncolor_check.Adaptive.Make (Asyncolor.Algorithm2.P)
+module Adaptive1 = Asyncolor_check.Adaptive.Make (Asyncolor.Algorithm1.P)
+
+let test_adaptive_matches_exact_worst () =
+  (* greedy one-step lookahead achieves the exhaustive exact worst case on
+     C3 (3 activations, from E6/E13) *)
+  let r =
+    Adaptive2.worst_rounds ~mode:`Singletons (Builders.cycle 3) ~idents:[| 5; 1; 9 |]
+  in
+  check Alcotest.bool "terminates" true r.all_returned;
+  check Alcotest.int "matches exact worst" 3 r.rounds
+
+let test_adaptive_rediscovers_phase_lock () =
+  (* with simultaneous sets allowed, the greedy scheduler drives Algorithm 2
+     into the F1 livelock on its own *)
+  let r =
+    Adaptive2.worst_rounds ~mode:`All_subsets ~max_steps:300 (Builders.cycle 3)
+      ~idents:[| 5; 1; 9 |]
+  in
+  check Alcotest.bool "never terminates" false r.all_returned;
+  check Alcotest.int "ran to the cap" 300 r.steps
+
+let test_adaptive_cannot_lock_alg1 () =
+  let r =
+    Adaptive1.worst_rounds ~mode:`All_subsets ~max_steps:300 (Builders.cycle 8)
+      ~idents:(Asyncolor_workload.Idents.random_permutation
+                 (Asyncolor_util.Prng.create ~seed:5) 8)
+  in
+  check Alcotest.bool "Algorithm 1 terminates even under the malicious scheduler"
+    true r.all_returned
+
+let test_adaptive_singleton_monotone_growth () =
+  (* the greedy interleaved worst case grows with n on monotone rings *)
+  let worst n =
+    (Adaptive2.worst_rounds ~mode:`Singletons (Builders.cycle n)
+       ~idents:(Asyncolor_workload.Idents.increasing n))
+      .rounds
+  in
+  let w4 = worst 4 and w16 = worst 16 in
+  check Alcotest.bool "grows" true (w16 > w4);
+  check Alcotest.bool "bounded by theorem" true
+    (w16 <= Asyncolor.Algorithm2.activation_bound 16)
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "adaptive",
+        [
+          Alcotest.test_case "matches exact worst" `Quick test_adaptive_matches_exact_worst;
+          Alcotest.test_case "rediscovers F1 lock" `Quick
+            test_adaptive_rediscovers_phase_lock;
+          Alcotest.test_case "cannot lock alg1" `Quick test_adaptive_cannot_lock_alg1;
+          Alcotest.test_case "monotone growth" `Quick
+            test_adaptive_singleton_monotone_growth;
+        ] );
+      ( "lockhunt",
+        [
+          Alcotest.test_case "alg1 immune" `Quick test_lockhunt_alg1_immune;
+          Alcotest.test_case "alg2 locks found" `Quick test_lockhunt_alg2_finds_locks;
+          Alcotest.test_case "probe F1 pair" `Quick test_lockhunt_probe_single_pair;
+        ] );
+      ( "explorer",
+        [
+          Alcotest.test_case "immediate return" `Quick test_immediate_return;
+          Alcotest.test_case "counting worst case" `Quick
+            test_counting_protocol_worst_case;
+          Alcotest.test_case "livelock detected" `Quick test_livelock_detected;
+          Alcotest.test_case "singleton mode" `Quick test_singleton_mode_smaller;
+          Alcotest.test_case "safety with witness schedule" `Quick
+            test_safety_violation_reported_with_schedule;
+          Alcotest.test_case "max_configs truncation" `Quick
+            test_max_configs_truncation;
+          Alcotest.test_case "max_violations cap" `Quick test_max_violations_cap;
+        ] );
+    ]

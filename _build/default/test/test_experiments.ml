@@ -1,0 +1,38 @@
+(* Integration test: every reproduction experiment must pass in quick mode,
+   and the registry must be well-formed. *)
+
+module Registry = Asyncolor_experiments.Registry
+module Outcome = Asyncolor_experiments.Outcome
+
+let check = Alcotest.check
+
+let test_registry_well_formed () =
+  check Alcotest.int "18 experiments" 18 (List.length Registry.all);
+  let ids = List.map (fun (e : Registry.entry) -> e.id) Registry.all in
+  check Alcotest.(list string) "ids in order"
+    [ "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11"; "E12";
+      "E13"; "E14"; "E15"; "E16"; "E17"; "E18" ]
+    ids;
+  check Alcotest.bool "find case-insensitive" true (Registry.find "e7" <> None);
+  check Alcotest.bool "find missing" true (Registry.find "E99" = None)
+
+let run_one id () =
+  match Registry.find id with
+  | None -> Alcotest.failf "experiment %s missing" id
+  | Some e ->
+      let outcome = e.run ~quick:true () in
+      check Alcotest.string "id matches" id outcome.Outcome.id;
+      if not outcome.Outcome.ok then
+        Alcotest.failf "%s did not reproduce: %s" id outcome.Outcome.title;
+      check Alcotest.bool "has tables" true (outcome.Outcome.tables <> [])
+
+let () =
+  Alcotest.run "experiments"
+    ([
+       Alcotest.test_case "registry well-formed" `Quick test_registry_well_formed;
+     ]
+     @ List.map
+         (fun (e : Registry.entry) ->
+           Alcotest.test_case (e.id ^ " reproduces (quick)") `Slow (run_one e.id))
+         Registry.all
+    |> fun cases -> [ ("experiments", cases) ])

@@ -1,0 +1,463 @@
+(* Tests for Asyncolor_kernel: engine semantics (the state model of paper
+   §2.1-2.2), adversaries, snapshots, runner. *)
+
+module Step = Asyncolor_kernel.Step
+module Status = Asyncolor_kernel.Status
+module Adversary = Asyncolor_kernel.Adversary
+module Engine = Asyncolor_kernel.Engine
+module Builders = Asyncolor_topology.Builders
+module Prng = Asyncolor_util.Prng
+
+let check = Alcotest.check
+let qtest t = QCheck_alcotest.to_alcotest t
+
+(* A probe protocol that records everything it sees: state is the list of
+   views read so far; it returns its identifier after [ttl] rounds. *)
+module Probe (TTL : sig
+  val ttl : int
+end) =
+struct
+  type state = { ident : int; rounds : int; views : int option list list }
+  type register = int (* round counter of the writer at write time *)
+  type output = int
+
+  let name = "probe"
+  let init ~ident = { ident; rounds = 0; views = [] }
+  let publish s = s.rounds
+
+  let transition s ~view =
+    let seen = Array.to_list view in
+    let s = { s with rounds = s.rounds + 1; views = seen :: s.views } in
+    if s.rounds >= TTL.ttl then Step.Return s.ident else Step.Continue s
+
+  let equal_state a b = a = b
+  let equal_register = Int.equal
+  let pp_state ppf s = Format.fprintf ppf "{id=%d;r=%d}" s.ident s.rounds
+  let pp_register = Format.pp_print_int
+  let pp_output = Format.pp_print_int
+end
+
+module P3 = Probe (struct
+  let ttl = 3
+end)
+
+module E3 = Engine.Make (P3)
+
+let idents3 = [| 10; 20; 30 |]
+let mk () = E3.create (Builders.cycle 3) ~idents:idents3
+
+(* --- basic lifecycle ------------------------------------------------ *)
+
+let test_initial_state () =
+  let e = mk () in
+  check Alcotest.int "n" 3 (E3.n e);
+  check Alcotest.int "time" 0 (E3.time e);
+  for p = 0 to 2 do
+    check Alcotest.bool "asleep" true (Status.is_asleep (E3.status e p));
+    check Alcotest.bool "register ⊥" true (E3.public e p = None);
+    check Alcotest.int "no activations" 0 (E3.activations e p)
+  done;
+  check Alcotest.(list int) "all unfinished" [ 0; 1; 2 ] (E3.unfinished e);
+  Alcotest.check_raises "state of asleep raises"
+    (Invalid_argument "Engine.state: process still asleep") (fun () ->
+      ignore (E3.state e 0))
+
+let test_wake_and_count () =
+  let e = mk () in
+  E3.activate e [ 0 ];
+  check Alcotest.bool "working" true (Status.is_working (E3.status e 0));
+  check Alcotest.int "one activation" 1 (E3.activations e 0);
+  check Alcotest.int "time advanced" 1 (E3.time e);
+  check Alcotest.bool "neighbour still asleep" true (Status.is_asleep (E3.status e 1))
+
+let test_bot_visible_before_wake () =
+  let e = mk () in
+  E3.activate e [ 0 ];
+  (* p0's first view must be [⊥; ⊥] — neighbours never woke. *)
+  let s = E3.state e 0 in
+  check
+    Alcotest.(list (list (option int)))
+    "first view all ⊥"
+    [ [ None; None ] ]
+    s.P3.views
+
+let test_write_before_read_simultaneous () =
+  (* Both neighbours of the cycle activated in the SAME step must see each
+     other's just-written register (write phase precedes read phase). *)
+  let e = mk () in
+  E3.activate e [ 0; 1 ];
+  let s0 = E3.state e 0 and s1 = E3.state e 1 in
+  (* p0's neighbours are 1 and 2; p1 published rounds=0 in this step. *)
+  check
+    Alcotest.(list (list (option int)))
+    "p0 sees p1's fresh write"
+    [ [ Some 0; None ] ]
+    s0.P3.views;
+  check
+    Alcotest.(list (list (option int)))
+    "p1 sees p0's fresh write"
+    [ [ Some 0; None ] ]
+    s1.P3.views
+
+let test_register_is_stale_by_one_round () =
+  (* After p0 completes one round its private rounds = 1, but the register
+     still holds the value written at the START of that round (0).  The
+     neighbour activated afterwards reads the stale value. *)
+  let e = mk () in
+  E3.activate e [ 0 ];
+  E3.activate e [ 1 ];
+  let s1 = E3.state e 1 in
+  check
+    Alcotest.(list (list (option int)))
+    "p1 reads p0's round-start value"
+    [ [ Some 0; None ] ]
+    s1.P3.views
+
+let test_returned_ignores_activation () =
+  let e = mk () in
+  for _ = 1 to 3 do
+    E3.activate e [ 0 ]
+  done;
+  check Alcotest.bool "returned" true (Status.is_returned (E3.status e 0));
+  check Alcotest.int "3 activations" 3 (E3.activations e 0);
+  E3.activate e [ 0 ];
+  check Alcotest.int "no further activations" 3 (E3.activations e 0);
+  check Alcotest.(list int) "unfinished shrunk" [ 1; 2 ] (E3.unfinished e)
+
+let test_duplicate_activation_collapsed () =
+  let e = mk () in
+  E3.activate e [ 0; 0; 0 ];
+  check Alcotest.int "deduplicated" 1 (E3.activations e 0)
+
+let test_outputs_and_all_returned () =
+  let e = mk () in
+  for _ = 1 to 3 do
+    E3.activate e [ 0; 1; 2 ]
+  done;
+  check Alcotest.bool "all returned" true (E3.all_returned e);
+  check
+    Alcotest.(array (option int))
+    "outputs are identifiers"
+    [| Some 10; Some 20; Some 30 |]
+    (E3.outputs e)
+
+let test_monitor_runs_every_step () =
+  let e = mk () in
+  let calls = ref 0 in
+  E3.set_monitor e (fun _ -> incr calls);
+  E3.activate e [ 0 ];
+  E3.activate e [ 1; 2 ];
+  check Alcotest.int "monitor called per step" 2 !calls
+
+let test_trace_recording () =
+  let e = E3.create ~record_trace:true (Builders.cycle 3) ~idents:idents3 in
+  E3.activate e [ 0; 2 ];
+  E3.activate e [ 1 ];
+  E3.activate e [ 0 ];
+  E3.activate e [ 0 ];
+  match E3.trace e with
+  | [ e1; e2; e3; e4 ] ->
+      check Alcotest.(list int) "step1 set" [ 0; 2 ] e1.E3.activated;
+      check Alcotest.int "step1 time" 1 e1.E3.time;
+      check Alcotest.(list int) "step2 set" [ 1 ] e2.E3.activated;
+      check Alcotest.(list (pair int int)) "no early returns" [] e3.E3.returned;
+      check Alcotest.(list (pair int int)) "p0 returns at 3rd activation"
+        [ (0, 10) ] e4.E3.returned
+  | l -> Alcotest.failf "expected 4 events, got %d" (List.length l)
+
+let test_spacetime_rendering () =
+  let e = E3.create ~record_trace:true (Builders.cycle 3) ~idents:idents3 in
+  E3.activate e [ 0 ];
+  E3.activate e [ 1; 2 ];
+  E3.activate e [ 0 ];
+  E3.activate e [ 0 ];
+  E3.activate e [ 1 ];
+  let s = Format.asprintf "%a" E3.pp_spacetime e in
+  let lines = String.split_on_char '\n' s in
+  check Alcotest.int "header + 5 steps" 6 (List.length lines);
+  check Alcotest.bool "step 1 activates only p0" true
+    (Astring.String.is_infix ~affix:"1 #.." s);
+  check Alcotest.bool "p0 returns at its 3rd activation (step 4)" true
+    (Astring.String.is_infix ~affix:"4 R.." s);
+  check Alcotest.bool "p0 past-return marker at step 5" true
+    (Astring.String.is_infix ~affix:"5 _#." s)
+
+let test_idents_length_mismatch () =
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Engine.create: idents length must match node count")
+    (fun () -> ignore (E3.create (Builders.cycle 3) ~idents:[| 1; 2 |]))
+
+(* --- snapshots ------------------------------------------------------ *)
+
+let test_snapshot_restore_roundtrip () =
+  let e = mk () in
+  E3.activate e [ 0; 1 ];
+  let snap = E3.snapshot e in
+  E3.activate e [ 0; 1; 2 ];
+  E3.activate e [ 0 ];
+  E3.restore e snap;
+  check Alcotest.bool "p2 asleep again" true (Status.is_asleep (E3.status e 2));
+  check Alcotest.int "p0 state rewound" 1 (E3.state e 0).P3.rounds;
+  (* determinism: re-running the same steps gives the same configs *)
+  E3.activate e [ 0; 1; 2 ];
+  let again = E3.snapshot e in
+  E3.restore e snap;
+  E3.activate e [ 0; 1; 2 ];
+  check Alcotest.int "deterministic replay" 0 (E3.config_compare again (E3.snapshot e))
+
+let test_config_accessors () =
+  let e = mk () in
+  E3.activate e [ 1 ];
+  let c = E3.snapshot e in
+  check Alcotest.(list int) "unfinished from config" [ 0; 1; 2 ]
+    (E3.config_unfinished c);
+  check Alcotest.(array (option int)) "outputs from config" [| None; None; None |]
+    (E3.config_outputs c)
+
+(* --- runner --------------------------------------------------------- *)
+
+let test_run_synchronous () =
+  let e = mk () in
+  let r = E3.run e Adversary.synchronous in
+  check Alcotest.bool "all returned" true r.all_returned;
+  check Alcotest.int "steps = ttl" 3 r.steps;
+  check Alcotest.int "rounds = ttl" 3 r.rounds;
+  check Alcotest.(array int) "activation counts" [| 3; 3; 3 |]
+    r.activations_per_process
+
+let test_run_sequential () =
+  let e = mk () in
+  let r = E3.run e Adversary.sequential in
+  check Alcotest.bool "all returned" true r.all_returned;
+  check Alcotest.int "steps = 3 * ttl" 9 r.steps
+
+let test_run_max_steps () =
+  (* a protocol with huge ttl cut off by max_steps *)
+  let module Never = Probe (struct
+    let ttl = max_int
+  end) in
+  let module EN = Engine.Make (Never) in
+  let e = EN.create (Builders.cycle 3) ~idents:idents3 in
+  let r = EN.run ~max_steps:50 e Adversary.synchronous in
+  check Alcotest.bool "not all returned" false r.all_returned;
+  check Alcotest.bool "schedule not ended" false r.schedule_ended;
+  check Alcotest.int "hit cap" 50 r.steps
+
+let prop_run_determinism =
+  (* identical seeds drive identical executions end to end *)
+  QCheck.Test.make ~name:"determinism: same seed, same run" ~count:100
+    QCheck.(pair (int_range 3 16) (int_range 0 100_000))
+    (fun (n, seed) ->
+      let go () =
+        let module A3 = Asyncolor.Algorithm3 in
+        let prng = Prng.create ~seed in
+        let idents =
+          Asyncolor_workload.Idents.random_permutation (Prng.split prng) n
+        in
+        let r = A3.run_on_cycle ~idents (Adversary.random_subsets (Prng.split prng) ~p:0.5) in
+        (r.steps, r.rounds, r.outputs, r.activations_per_process)
+      in
+      go () = go ())
+
+let test_run_finite_schedule () =
+  let e = mk () in
+  let r = E3.run e (Adversary.finite [ [ 0 ]; [ 0 ] ]) in
+  check Alcotest.bool "ended by schedule" true r.schedule_ended;
+  check Alcotest.(array (option int)) "nobody returned" [| None; None; None |]
+    r.outputs;
+  check Alcotest.(array int) "p0 worked twice" [| 2; 0; 0 |]
+    r.activations_per_process
+
+(* --- adversaries ---------------------------------------------------- *)
+
+let unfinished5 = [ 0; 1; 2; 3; 4 ]
+
+let test_adv_synchronous () =
+  check
+    Alcotest.(option (list int))
+    "activates all" (Some unfinished5)
+    (Adversary.synchronous.next ~time:1 ~unfinished:unfinished5);
+  check Alcotest.(option (list int)) "empty -> stop" None
+    (Adversary.synchronous.next ~time:1 ~unfinished:[])
+
+let test_adv_sequential () =
+  check
+    Alcotest.(option (list int))
+    "first only" (Some [ 2 ])
+    (Adversary.sequential.next ~time:5 ~unfinished:[ 2; 3; 4 ])
+
+let test_adv_round_robin () =
+  let at t = Adversary.round_robin.next ~time:t ~unfinished:[ 7; 8; 9 ] in
+  check Alcotest.(option (list int)) "t=1" (Some [ 7 ]) (at 1);
+  check Alcotest.(option (list int)) "t=2" (Some [ 8 ]) (at 2);
+  check Alcotest.(option (list int)) "t=3" (Some [ 9 ]) (at 3);
+  check Alcotest.(option (list int)) "t=4 wraps" (Some [ 7 ]) (at 4)
+
+let test_adv_staircase () =
+  let at t = Adversary.staircase.next ~time:t ~unfinished:unfinished5 in
+  check Alcotest.(option (list int)) "t=1" (Some [ 0 ]) (at 1);
+  check Alcotest.(option (list int)) "t=3" (Some [ 0; 1; 2 ]) (at 3);
+  check Alcotest.(option (list int)) "t=9 saturates" (Some unfinished5) (at 9)
+
+let test_adv_alternating_waves () =
+  let at t = Adversary.alternating_waves.next ~time:t ~unfinished:unfinished5 in
+  check Alcotest.(option (list int)) "odd time -> odd procs" (Some [ 1; 3 ]) (at 1);
+  check Alcotest.(option (list int)) "even time -> even procs" (Some [ 0; 2; 4 ]) (at 2);
+  (* all remaining of one parity: falls back to everyone *)
+  check
+    Alcotest.(option (list int))
+    "no odd procs left" (Some [ 0; 2 ])
+    (Adversary.alternating_waves.next ~time:1 ~unfinished:[ 0; 2 ])
+
+let test_adv_singletons_member () =
+  let adv = Adversary.singletons (Prng.create ~seed:1) in
+  for t = 1 to 50 do
+    match adv.next ~time:t ~unfinished:unfinished5 with
+    | Some [ p ] -> check Alcotest.bool "member" true (List.mem p unfinished5)
+    | _ -> Alcotest.fail "expected singleton"
+  done
+
+let test_adv_random_subsets_nonempty () =
+  let adv = Adversary.random_subsets (Prng.create ~seed:2) ~p:0.01 in
+  for t = 1 to 50 do
+    match adv.next ~time:t ~unfinished:unfinished5 with
+    | Some [] | None -> Alcotest.fail "must be nonempty"
+    | Some l -> List.iter (fun p -> check Alcotest.bool "member" true (List.mem p unfinished5)) l
+  done
+
+let test_adv_crash () =
+  let adv = Adversary.crash ~at:3 ~procs:[ 0; 1 ] Adversary.synchronous in
+  check
+    Alcotest.(option (list int))
+    "before crash: everyone" (Some unfinished5)
+    (adv.next ~time:2 ~unfinished:unfinished5);
+  check
+    Alcotest.(option (list int))
+    "after crash: survivors" (Some [ 2; 3; 4 ])
+    (adv.next ~time:3 ~unfinished:unfinished5);
+  check
+    Alcotest.(option (list int))
+    "only crashed left -> stop" None
+    (adv.next ~time:5 ~unfinished:[ 0; 1 ])
+
+let test_adv_finite () =
+  let adv = Adversary.finite [ [ 1 ]; [ 2; 3 ] ] in
+  check Alcotest.(option (list int)) "t=1" (Some [ 1 ]) (adv.next ~time:1 ~unfinished:unfinished5);
+  check Alcotest.(option (list int)) "t=2" (Some [ 2; 3 ]) (adv.next ~time:2 ~unfinished:unfinished5);
+  check Alcotest.(option (list int)) "t=3 exhausted" None (adv.next ~time:3 ~unfinished:unfinished5)
+
+let test_adv_eager_then_lazy () =
+  let adv = Adversary.eager_then_lazy ~slow:[ 0 ] ~delay:2 in
+  check
+    Alcotest.(option (list int))
+    "slow excluded early" (Some [ 1; 2; 3; 4 ])
+    (adv.next ~time:1 ~unfinished:unfinished5);
+  check
+    Alcotest.(option (list int))
+    "everyone after delay" (Some unfinished5)
+    (adv.next ~time:3 ~unfinished:unfinished5)
+
+let test_adv_isolate_pair () =
+  let adv = Adversary.isolate_pair (1, 3) in
+  check
+    Alcotest.(option (list int))
+    "drain others first" (Some [ 0; 2; 4 ])
+    (adv.next ~time:1 ~unfinished:unfinished5);
+  check
+    Alcotest.(option (list int))
+    "then the pair together" (Some [ 1; 3 ])
+    (adv.next ~time:9 ~unfinished:[ 1; 3 ]);
+  check
+    Alcotest.(option (list int))
+    "half-pair still activated" (Some [ 3 ])
+    (adv.next ~time:9 ~unfinished:[ 3 ]);
+  check Alcotest.(option (list int)) "empty -> stop" None (adv.next ~time:9 ~unfinished:[])
+
+let test_schedule_parse () =
+  check
+    Alcotest.(list (list int))
+    "basic" [ [ 0 ]; [ 1; 2 ]; [] ]
+    (Adversary.parse "{0} {1,2} {}");
+  check Alcotest.(list (list int)) "empty string" [] (Adversary.parse "  ");
+  check Alcotest.string "roundtrip" "{0} {1,2}"
+    (Adversary.to_string (Adversary.parse " {0}   {1,2} "));
+  Alcotest.check_raises "garbage"
+    (Invalid_argument "Adversary.parse: malformed schedule \"0,1\"") (fun () ->
+      ignore (Adversary.parse "0,1"))
+
+let prop_schedule_roundtrip =
+  QCheck.Test.make ~name:"parse ∘ to_string = id"
+    QCheck.(
+      list_of_size (Gen.int_range 0 20)
+        (list_of_size (Gen.int_range 0 8) (int_range 0 99)))
+    (fun sets -> Adversary.parse (Adversary.to_string sets) = sets)
+
+let test_adv_random_crashes_eventually_stop () =
+  (* rate 1.0: every process crashes within the horizon, so the schedule
+     must end in bounded time. *)
+  let adv =
+    Adversary.random_crashes (Prng.create ~seed:3) ~n:5 ~rate:1.0 ~horizon:5
+      Adversary.synchronous
+  in
+  let stopped = ref false in
+  for t = 1 to 10 do
+    if adv.next ~time:t ~unfinished:unfinished5 = None then stopped := true
+  done;
+  check Alcotest.bool "all crashed" true !stopped
+
+let () =
+  Alcotest.run "kernel"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "initial state" `Quick test_initial_state;
+          Alcotest.test_case "wake and count" `Quick test_wake_and_count;
+          Alcotest.test_case "⊥ before wake" `Quick test_bot_visible_before_wake;
+          Alcotest.test_case "simultaneous write-then-read" `Quick
+            test_write_before_read_simultaneous;
+          Alcotest.test_case "register one-round stale" `Quick
+            test_register_is_stale_by_one_round;
+          Alcotest.test_case "returned ignores activation" `Quick
+            test_returned_ignores_activation;
+          Alcotest.test_case "duplicate activation collapsed" `Quick
+            test_duplicate_activation_collapsed;
+          Alcotest.test_case "outputs / all_returned" `Quick
+            test_outputs_and_all_returned;
+          Alcotest.test_case "monitor" `Quick test_monitor_runs_every_step;
+          Alcotest.test_case "trace" `Quick test_trace_recording;
+          Alcotest.test_case "spacetime diagram" `Quick test_spacetime_rendering;
+          Alcotest.test_case "idents mismatch" `Quick test_idents_length_mismatch;
+        ] );
+      ( "snapshots",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_snapshot_restore_roundtrip;
+          Alcotest.test_case "config accessors" `Quick test_config_accessors;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "synchronous" `Quick test_run_synchronous;
+          Alcotest.test_case "sequential" `Quick test_run_sequential;
+          Alcotest.test_case "max steps" `Quick test_run_max_steps;
+          Alcotest.test_case "finite schedule" `Quick test_run_finite_schedule;
+          qtest prop_run_determinism;
+        ] );
+      ( "adversaries",
+        [
+          Alcotest.test_case "synchronous" `Quick test_adv_synchronous;
+          Alcotest.test_case "sequential" `Quick test_adv_sequential;
+          Alcotest.test_case "round robin" `Quick test_adv_round_robin;
+          Alcotest.test_case "staircase" `Quick test_adv_staircase;
+          Alcotest.test_case "alternating waves" `Quick test_adv_alternating_waves;
+          Alcotest.test_case "singletons" `Quick test_adv_singletons_member;
+          Alcotest.test_case "random subsets nonempty" `Quick
+            test_adv_random_subsets_nonempty;
+          Alcotest.test_case "crash" `Quick test_adv_crash;
+          Alcotest.test_case "finite" `Quick test_adv_finite;
+          Alcotest.test_case "eager then lazy" `Quick test_adv_eager_then_lazy;
+          Alcotest.test_case "isolate pair" `Quick test_adv_isolate_pair;
+          Alcotest.test_case "schedule parse" `Quick test_schedule_parse;
+          qtest prop_schedule_roundtrip;
+          Alcotest.test_case "random crashes stop" `Quick
+            test_adv_random_crashes_eventually_stop;
+        ] );
+    ]

@@ -1,0 +1,252 @@
+(* Tests for the synchronous LOCAL-model baseline: Cole-Vishkin 3-colouring
+   of the oriented ring. *)
+
+module Cv = Asyncolor_local.Cole_vishkin_ring
+module Logstar = Asyncolor_cv.Logstar
+module Idents = Asyncolor_workload.Idents
+module Prng = Asyncolor_util.Prng
+
+let check = Alcotest.check
+let qtest t = QCheck_alcotest.to_alcotest t
+
+let test_is_proper_ring () =
+  check Alcotest.bool "proper" true (Cv.is_proper_ring [| 0; 1; 2 |]);
+  check Alcotest.bool "adjacent equal" false (Cv.is_proper_ring [| 0; 0; 1 |]);
+  check Alcotest.bool "wrap equal" false (Cv.is_proper_ring [| 0; 1; 0 |]);
+  check Alcotest.bool "single node self-adjacent" false (Cv.is_proper_ring [| 7 |])
+
+let test_cv_step_small () =
+  (* identifiers 0..5 on a ring stay proper after one step *)
+  let c = Cv.cv_step [| 0; 1; 2; 3; 4; 5 |] in
+  check Alcotest.bool "still proper" true (Cv.is_proper_ring c)
+
+let test_cv_step_rejects_improper () =
+  Alcotest.check_raises "improper"
+    (Invalid_argument "Cole_vishkin_ring.cv_step: not a proper colouring") (fun () ->
+      ignore (Cv.cv_step [| 3; 3; 4 |]))
+
+let test_six_color () =
+  let colors, rounds = Cv.six_color (Idents.random_permutation (Prng.create ~seed:3) 100) in
+  check Alcotest.bool "all <= 5" true (Array.for_all (fun c -> c <= 5) colors);
+  check Alcotest.bool "proper" true (Cv.is_proper_ring colors);
+  check Alcotest.bool "few rounds" true (rounds <= Cv.rounds_upper_bound 100)
+
+let test_three_color_small () =
+  let r = Cv.three_color [| 5; 1; 9 |] in
+  check Alcotest.bool "proper" true (Cv.is_proper_ring r.colors);
+  check Alcotest.bool "3 colours" true (Array.for_all (fun c -> c <= 2) r.colors);
+  check Alcotest.int "rounds accounted" r.rounds (r.cv_iterations + 3)
+
+let test_three_color_rejects () =
+  Alcotest.check_raises "n<3"
+    (Invalid_argument "Cole_vishkin_ring.three_color: need n >= 3") (fun () ->
+      ignore (Cv.three_color [| 1; 2 |]));
+  Alcotest.check_raises "improper input"
+    (Invalid_argument
+       "Cole_vishkin_ring.three_color: identifiers must properly colour the ring")
+    (fun () -> ignore (Cv.three_color [| 1; 1; 2 |]))
+
+let test_logstar_growth () =
+  (* rounds grow like log* n: going from n=16 to n=2^16 adds only a few *)
+  let r16 = Cv.three_color (Idents.increasing 16) in
+  let r64k = Cv.three_color (Idents.increasing 65536) in
+  check Alcotest.bool "slow growth" true (r64k.rounds - r16.rounds <= 5)
+
+let prop_three_color_correct =
+  QCheck.Test.make ~name:"three_color: proper 3-colouring in log*n+O(1) rounds"
+    ~count:100
+    QCheck.(pair (int_range 3 3000) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let idents =
+        Idents.random_sparse (Prng.create ~seed) ~n ~universe:(max 64 (4 * n))
+      in
+      let r = Cv.three_color idents in
+      Cv.is_proper_ring r.colors
+      && Array.for_all (fun c -> c >= 0 && c <= 2) r.colors
+      && r.cv_iterations <= Cv.rounds_upper_bound n)
+
+let prop_cv_step_preserves_proper =
+  QCheck.Test.make ~name:"cv_step preserves properness" ~count:200
+    QCheck.(pair (int_range 3 100) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let idents = Idents.random_permutation (Prng.create ~seed) n in
+      Cv.is_proper_ring (Cv.cv_step idents))
+
+(* --- DECOUPLED ring --------------------------------------------------- *)
+
+module D = Asyncolor_local.Decoupled_ring
+module Adversary = Asyncolor_kernel.Adversary
+
+let test_decoupled_rounds_needed () =
+  (* K derives from the universe alone; +3 reduction rounds *)
+  let k8 = D.cv_iterations_needed ~universe:8 in
+  check Alcotest.bool "small universe small K" true (k8 <= 2);
+  check Alcotest.int "+3" (k8 + 3) (D.rounds_needed ~universe:8);
+  check Alcotest.bool "huge universe still tiny" true
+    (D.cv_iterations_needed ~universe:(1 lsl 60) <= 6)
+
+let test_decoupled_c3_three_colors () =
+  let d = D.create ~idents:[| 5; 1; 9 |] ~universe:16 in
+  let outs, rounds = D.run Adversary.synchronous d in
+  check Alcotest.bool "proper" true (D.is_proper_partial outs);
+  let colours = List.sort compare (List.filter_map Fun.id (Array.to_list outs)) in
+  check Alcotest.(list int) "exactly {0,1,2}" [ 0; 1; 2 ] colours;
+  check Alcotest.bool "few rounds" true (rounds <= D.rounds_needed ~universe:16 + 1)
+
+let test_decoupled_waiting_before_radius () =
+  let d = D.create ~idents:[| 3; 7; 1; 9 |] ~universe:16 in
+  D.advance d;
+  check Alcotest.(option int) "too early: no output" None (D.activate d 0);
+  for _ = 1 to D.rounds_needed ~universe:16 do
+    D.advance d
+  done;
+  check Alcotest.bool "late activation outputs" true (D.activate d 0 <> None);
+  (* idempotent *)
+  check Alcotest.(option int) "stable" (D.activate d 0) (D.activate d 0)
+
+let test_decoupled_crash_tolerance () =
+  (* crashed processes never compute, but their identifiers propagate:
+     survivors 3-colour properly around the holes *)
+  let n = 64 in
+  let idents = Idents.random_permutation (Prng.create ~seed:9) n in
+  let d = D.create ~idents ~universe:n in
+  let adv = Adversary.crash ~at:1 ~procs:[ 0; 13; 14; 40 ] Adversary.synchronous in
+  let outs, _ = D.run adv d in
+  check Alcotest.(option int) "p13 crashed" None outs.(13);
+  check Alcotest.bool "survivors coloured" true (outs.(1) <> None && outs.(41) <> None);
+  check Alcotest.bool "proper" true (D.is_proper_partial outs)
+
+let test_decoupled_rejects_bad_input () =
+  Alcotest.check_raises "n<3" (Invalid_argument "Decoupled_ring.create: need n >= 3")
+    (fun () -> ignore (D.create ~idents:[| 1; 2 |] ~universe:8));
+  Alcotest.check_raises "dup ids"
+    (Invalid_argument "Decoupled_ring.create: identifiers must be distinct") (fun () ->
+      ignore (D.create ~idents:[| 1; 1; 2 |] ~universe:8));
+  Alcotest.check_raises "outside universe"
+    (Invalid_argument "Decoupled_ring.create: identifier outside the universe")
+    (fun () -> ignore (D.create ~idents:[| 1; 2; 99 |] ~universe:8))
+
+let prop_decoupled_consistency =
+  (* all processes replay the same virtual execution: under ANY schedule
+     the outputs form one proper 3-colouring, independent of who computes
+     when *)
+  QCheck.Test.make ~name:"DECOUPLED: schedule-independent proper 3-colouring"
+    ~count:100
+    QCheck.(pair (int_range 3 64) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let prng = Prng.create ~seed in
+      let universe = max 8 (4 * n) in
+      let idents = Idents.random_sparse (Prng.split prng) ~n ~universe in
+      (* horizon long enough for the one-process-per-round schedule *)
+      let horizon = D.rounds_needed ~universe + (4 * n) + 8 in
+      let d1 = D.create ~idents ~universe in
+      let outs1, _ =
+        D.run ~horizon (Adversary.random_subsets (Prng.split prng) ~p:0.4) d1
+      in
+      let d2 = D.create ~idents ~universe in
+      let outs2, _ = D.run ~horizon Adversary.sequential d2 in
+      D.is_proper_partial outs1
+      && Array.for_all (function Some c -> c <= 2 | None -> false) outs1
+      && outs1 = outs2)
+
+(* --- Linial ------------------------------------------------------------ *)
+
+module L = Asyncolor_local.Linial
+module Builders = Asyncolor_topology.Builders
+module Graph = Asyncolor_topology.Graph
+
+let test_smallest_prime_above () =
+  check Alcotest.int "above 0" 2 (L.smallest_prime_above 0);
+  check Alcotest.int "above 2" 3 (L.smallest_prime_above 2);
+  check Alcotest.int "above 7" 11 (L.smallest_prime_above 7);
+  check Alcotest.int "above 89" 97 (L.smallest_prime_above 89);
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Linial.smallest_prime_above: negative input") (fun () ->
+      ignore (L.smallest_prime_above (-1)))
+
+let test_reduce_step_basic () =
+  let g = Builders.cycle 6 in
+  let colors = [| 0; 10; 20; 30; 40; 50 |] in
+  let fresh, m' = L.reduce_step g ~m:64 colors in
+  check Alcotest.bool "proper after step" true (L.is_proper g fresh);
+  check Alcotest.bool "palette shrank" true (m' < 64);
+  Array.iter (fun c -> check Alcotest.bool "in range" true (c >= 0 && c < m')) fresh
+
+let test_reduce_step_rejects_improper () =
+  let g = Builders.cycle 3 in
+  Alcotest.check_raises "improper"
+    (Invalid_argument "Linial.reduce_step: input not proper") (fun () ->
+      ignore (L.reduce_step g ~m:4 [| 1; 1; 2 |]))
+
+let test_color_stall_bound () =
+  List.iter
+    (fun g ->
+      let n = Graph.n g in
+      let idents =
+        Array.map (fun x -> (x * 104729) + x) (Idents.random_permutation (Prng.create ~seed:n) n)
+      in
+      let r = L.color g ~idents in
+      check Alcotest.bool "proper" true (L.is_proper g r.colors);
+      check Alcotest.bool "within palette bound" true
+        (r.final_palette <= L.palette_bound ~max_degree:(Graph.max_degree g));
+      check Alcotest.bool "few rounds (log*)" true (r.rounds <= 6))
+    [ Builders.cycle 128; Builders.petersen (); Builders.grid 7 7; Builders.hypercube 5 ]
+
+let test_color_delta_plus_one () =
+  let g = Builders.petersen () in
+  let idents = Idents.random_permutation (Prng.create ~seed:4) 10 in
+  let r = L.color_delta_plus_one g ~idents in
+  check Alcotest.int "Δ+1 colours" 4 r.final_palette;
+  check Alcotest.bool "proper" true (L.is_proper g r.colors);
+  Array.iter (fun c -> check Alcotest.bool "all < 4" true (c < 4)) r.colors
+
+let prop_linial_random_graphs =
+  QCheck.Test.make ~name:"Linial: proper within bound on random graphs" ~count:60
+    QCheck.(pair (int_range 4 40) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let prng = Prng.create ~seed in
+      let g = Asyncolor_topology.Builders.gnp (Prng.split prng) ~n ~p:0.2 in
+      let idents = Idents.random_permutation (Prng.split prng) n in
+      let r = L.color g ~idents in
+      let full = L.color_delta_plus_one g ~idents in
+      L.is_proper g r.colors
+      && r.final_palette <= L.palette_bound ~max_degree:(Graph.max_degree g)
+      && L.is_proper g full.colors
+      && full.final_palette = Graph.max_degree g + 1)
+
+let () =
+  Alcotest.run "local"
+    [
+      ( "linial",
+        [
+          Alcotest.test_case "smallest prime" `Quick test_smallest_prime_above;
+          Alcotest.test_case "reduce step" `Quick test_reduce_step_basic;
+          Alcotest.test_case "rejects improper" `Quick test_reduce_step_rejects_improper;
+          Alcotest.test_case "stall bound" `Quick test_color_stall_bound;
+          Alcotest.test_case "Δ+1 pipeline" `Quick test_color_delta_plus_one;
+          qtest prop_linial_random_graphs;
+        ] );
+      ( "decoupled",
+        [
+          Alcotest.test_case "rounds needed" `Quick test_decoupled_rounds_needed;
+          Alcotest.test_case "C3 three colours" `Quick test_decoupled_c3_three_colors;
+          Alcotest.test_case "waits on network only" `Quick
+            test_decoupled_waiting_before_radius;
+          Alcotest.test_case "crash tolerance" `Quick test_decoupled_crash_tolerance;
+          Alcotest.test_case "input validation" `Quick test_decoupled_rejects_bad_input;
+          qtest prop_decoupled_consistency;
+        ] );
+      ( "cole-vishkin",
+        [
+          Alcotest.test_case "is_proper_ring" `Quick test_is_proper_ring;
+          Alcotest.test_case "cv_step small" `Quick test_cv_step_small;
+          Alcotest.test_case "cv_step rejects improper" `Quick
+            test_cv_step_rejects_improper;
+          Alcotest.test_case "six_color" `Quick test_six_color;
+          Alcotest.test_case "three_color small" `Quick test_three_color_small;
+          Alcotest.test_case "three_color rejects" `Quick test_three_color_rejects;
+          Alcotest.test_case "log* growth" `Quick test_logstar_growth;
+          qtest prop_three_color_correct;
+          qtest prop_cv_step_preserves_proper;
+        ] );
+    ]

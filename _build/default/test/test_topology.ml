@@ -1,0 +1,219 @@
+(* Tests for Asyncolor_topology: graph construction invariants, the
+   builder families, DOT export. *)
+
+module Graph = Asyncolor_topology.Graph
+module Builders = Asyncolor_topology.Builders
+module Dot = Asyncolor_topology.Dot
+module Prng = Asyncolor_util.Prng
+
+let check = Alcotest.check
+let qtest t = QCheck_alcotest.to_alcotest t
+
+(* --- construction -------------------------------------------------- *)
+
+let test_make_basic () =
+  let g = Graph.make ~n:4 ~edges:[ (0, 1); (1, 2); (2, 3) ] in
+  check Alcotest.int "n" 4 (Graph.n g);
+  check Alcotest.int "m" 3 (Graph.m g);
+  check Alcotest.(array int) "nbrs of 1" [| 0; 2 |] (Graph.neighbours g 1);
+  check Alcotest.bool "edge 0-1" true (Graph.mem_edge g 0 1);
+  check Alcotest.bool "edge 1-0 symmetric" true (Graph.mem_edge g 1 0);
+  check Alcotest.bool "no edge 0-3" false (Graph.mem_edge g 0 3)
+
+let test_make_dedup () =
+  let g = Graph.make ~n:3 ~edges:[ (0, 1); (1, 0); (0, 1) ] in
+  check Alcotest.int "one edge" 1 (Graph.m g)
+
+let test_make_rejects_self_loop () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.make: self-loop")
+    (fun () -> ignore (Graph.make ~n:3 ~edges:[ (1, 1) ]))
+
+let test_make_rejects_out_of_range () =
+  Alcotest.check_raises "range"
+    (Invalid_argument "Graph.make: node 5 out of range [0,3)") (fun () ->
+      ignore (Graph.make ~n:3 ~edges:[ (0, 5) ]))
+
+let test_empty_graph () =
+  let g = Graph.make ~n:0 ~edges:[] in
+  check Alcotest.int "n" 0 (Graph.n g);
+  check Alcotest.int "max degree" 0 (Graph.max_degree g);
+  check Alcotest.bool "connected (vacuous)" true (Graph.is_connected g)
+
+let test_edges_canonical () =
+  let g = Graph.make ~n:4 ~edges:[ (3, 2); (1, 0) ] in
+  check
+    Alcotest.(list (pair int int))
+    "edges sorted, u<v"
+    [ (0, 1); (2, 3) ]
+    (Graph.edges g)
+
+let test_fold_edges () =
+  let g = Builders.cycle 5 in
+  let count = Graph.fold_edges (fun _ _ acc -> acc + 1) g 0 in
+  check Alcotest.int "fold visits each edge once" 5 count
+
+let test_connectivity () =
+  let disconnected = Graph.make ~n:4 ~edges:[ (0, 1); (2, 3) ] in
+  check Alcotest.bool "disconnected" false (Graph.is_connected disconnected);
+  check Alcotest.bool "cycle connected" true (Graph.is_connected (Builders.cycle 7))
+
+let test_is_cycle () =
+  check Alcotest.bool "C5" true (Graph.is_cycle (Builders.cycle 5));
+  check Alcotest.bool "path" false (Graph.is_cycle (Builders.path 5));
+  check Alcotest.bool "K4" false (Graph.is_cycle (Builders.complete 4));
+  (* two disjoint triangles: 2-regular but disconnected *)
+  let two_triangles =
+    Graph.make ~n:6 ~edges:[ (0, 1); (1, 2); (2, 0); (3, 4); (4, 5); (5, 3) ]
+  in
+  check Alcotest.bool "2-regular but disconnected" false (Graph.is_cycle two_triangles)
+
+let test_equal () =
+  check Alcotest.bool "structural equality" true
+    (Graph.equal (Builders.cycle 4) (Graph.make ~n:4 ~edges:[ (0,1); (1,2); (2,3); (3,0) ]))
+
+(* --- builders ------------------------------------------------------ *)
+
+let test_cycle () =
+  let g = Builders.cycle 6 in
+  check Alcotest.int "m" 6 (Graph.m g);
+  for v = 0 to 5 do
+    check Alcotest.int "degree 2" 2 (Graph.degree g v)
+  done;
+  Alcotest.check_raises "n<3" (Invalid_argument "Builders.cycle: need n >= 3")
+    (fun () -> ignore (Builders.cycle 2))
+
+let test_path () =
+  let g = Builders.path 5 in
+  check Alcotest.int "m" 4 (Graph.m g);
+  check Alcotest.int "endpoint degree" 1 (Graph.degree g 0);
+  check Alcotest.int "inner degree" 2 (Graph.degree g 2);
+  check Alcotest.int "single node" 0 (Graph.m (Builders.path 1))
+
+let test_complete () =
+  let g = Builders.complete 5 in
+  check Alcotest.int "m" 10 (Graph.m g);
+  check Alcotest.int "degree" 4 (Graph.max_degree g);
+  check Alcotest.bool "K3 is C3" true (Graph.equal (Builders.complete 3) (Builders.cycle 3))
+
+let test_star () =
+  let g = Builders.star 7 in
+  check Alcotest.int "centre degree" 6 (Graph.degree g 0);
+  check Alcotest.int "leaf degree" 1 (Graph.degree g 3);
+  check Alcotest.int "m" 6 (Graph.m g)
+
+let test_grid () =
+  let g = Builders.grid 3 4 in
+  check Alcotest.int "n" 12 (Graph.n g);
+  check Alcotest.int "m" ((2 * 4) + (3 * 3)) (Graph.m g);
+  check Alcotest.int "corner degree" 2 (Graph.degree g 0);
+  check Alcotest.int "max degree" 4 (Graph.max_degree g);
+  check Alcotest.bool "connected" true (Graph.is_connected g)
+
+let test_torus () =
+  let g = Builders.torus 4 5 in
+  check Alcotest.int "n" 20 (Graph.n g);
+  check Alcotest.int "m" 40 (Graph.m g);
+  for v = 0 to 19 do
+    check Alcotest.int "4-regular" 4 (Graph.degree g v)
+  done
+
+let test_petersen () =
+  let g = Builders.petersen () in
+  check Alcotest.int "n" 10 (Graph.n g);
+  check Alcotest.int "m" 15 (Graph.m g);
+  for v = 0 to 9 do
+    check Alcotest.int "3-regular" 3 (Graph.degree g v)
+  done;
+  check Alcotest.bool "connected" true (Graph.is_connected g)
+
+let test_hypercube () =
+  let g = Builders.hypercube 4 in
+  check Alcotest.int "n" 16 (Graph.n g);
+  check Alcotest.int "m" 32 (Graph.m g);
+  for v = 0 to 15 do
+    check Alcotest.int "4-regular" 4 (Graph.degree g v)
+  done;
+  check Alcotest.int "d=0" 1 (Graph.n (Builders.hypercube 0))
+
+let test_random_regular () =
+  let prng = Prng.create ~seed:99 in
+  let g = Builders.random_regular prng ~n:20 ~d:3 in
+  check Alcotest.int "n" 20 (Graph.n g);
+  for v = 0 to 19 do
+    check Alcotest.int "3-regular" 3 (Graph.degree g v)
+  done;
+  Alcotest.check_raises "odd product"
+    (Invalid_argument "Builders.random_regular: n*d must be even") (fun () ->
+      ignore (Builders.random_regular prng ~n:5 ~d:3))
+
+let test_gnp () =
+  let prng = Prng.create ~seed:101 in
+  let empty = Builders.gnp prng ~n:20 ~p:0.0 in
+  check Alcotest.int "p=0 edges" 0 (Graph.m empty);
+  let full = Builders.gnp prng ~n:20 ~p:1.0 in
+  check Alcotest.int "p=1 edges" 190 (Graph.m full)
+
+let prop_gnp_valid =
+  QCheck.Test.make ~name:"gnp: simple symmetric graph" ~count:50
+    QCheck.(pair (int_range 1 30) (int_range 0 100))
+    (fun (n, pct) ->
+      let prng = Prng.create ~seed:(n + (pct * 31)) in
+      let g = Builders.gnp prng ~n ~p:(float_of_int pct /. 100.0) in
+      Graph.fold_edges
+        (fun u v acc -> acc && u < v && Graph.mem_edge g v u && u <> v)
+        g true)
+
+(* --- dot ----------------------------------------------------------- *)
+
+let test_dot_contains_edges () =
+  let s = Dot.to_string (Builders.cycle 3) in
+  check Alcotest.bool "has edge 0--1" true
+    (Astring.String.is_infix ~affix:"0 -- 1" s);
+  check Alcotest.bool "has graph header" true
+    (Astring.String.is_prefix ~affix:"graph" s)
+
+let test_dot_colors () =
+  let s =
+    Dot.to_string
+      ~colors:(fun v -> if v = 0 then Some 0 else None)
+      (Builders.cycle 3)
+  in
+  check Alcotest.bool "fill for node 0" true
+    (Astring.String.is_infix ~affix:"fillcolor=\"#e6194b\"" s)
+
+let () =
+  Alcotest.run "topology"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "make basic" `Quick test_make_basic;
+          Alcotest.test_case "dedup" `Quick test_make_dedup;
+          Alcotest.test_case "reject self-loop" `Quick test_make_rejects_self_loop;
+          Alcotest.test_case "reject out-of-range" `Quick test_make_rejects_out_of_range;
+          Alcotest.test_case "empty graph" `Quick test_empty_graph;
+          Alcotest.test_case "edges canonical" `Quick test_edges_canonical;
+          Alcotest.test_case "fold_edges" `Quick test_fold_edges;
+          Alcotest.test_case "connectivity" `Quick test_connectivity;
+          Alcotest.test_case "is_cycle" `Quick test_is_cycle;
+          Alcotest.test_case "equal" `Quick test_equal;
+        ] );
+      ( "builders",
+        [
+          Alcotest.test_case "cycle" `Quick test_cycle;
+          Alcotest.test_case "path" `Quick test_path;
+          Alcotest.test_case "complete" `Quick test_complete;
+          Alcotest.test_case "star" `Quick test_star;
+          Alcotest.test_case "grid" `Quick test_grid;
+          Alcotest.test_case "torus" `Quick test_torus;
+          Alcotest.test_case "petersen" `Quick test_petersen;
+          Alcotest.test_case "hypercube" `Quick test_hypercube;
+          Alcotest.test_case "random regular" `Quick test_random_regular;
+          Alcotest.test_case "gnp extremes" `Quick test_gnp;
+          qtest prop_gnp_valid;
+        ] );
+      ( "dot",
+        [
+          Alcotest.test_case "edges rendered" `Quick test_dot_contains_edges;
+          Alcotest.test_case "colors rendered" `Quick test_dot_colors;
+        ] );
+    ]

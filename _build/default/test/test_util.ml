@@ -1,0 +1,205 @@
+(* Unit and property tests for Asyncolor_util: the SplitMix64 PRNG and the
+   minimum-excludant helper. *)
+
+module Prng = Asyncolor_util.Prng
+module Mex = Asyncolor_util.Mex
+
+let check = Alcotest.check
+let qtest t = QCheck_alcotest.to_alcotest t
+
+(* --- Prng ---------------------------------------------------------- *)
+
+let test_determinism () =
+  let a = Prng.create ~seed:123 and b = Prng.create ~seed:123 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let da = List.init 8 (fun _ -> Prng.bits64 a) in
+  let db = List.init 8 (fun _ -> Prng.bits64 b) in
+  check Alcotest.bool "different seeds differ" true (da <> db)
+
+let test_copy_preserves_stream () =
+  let a = Prng.create ~seed:9 in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  check Alcotest.int64 "copy continues identically" (Prng.bits64 a) (Prng.bits64 b)
+
+let test_split_independent () =
+  let a = Prng.create ~seed:5 in
+  let b = Prng.split a in
+  let xa = Prng.bits64 a and xb = Prng.bits64 b in
+  check Alcotest.bool "split streams differ" true (xa <> xb)
+
+let test_int_bounds () =
+  let p = Prng.create ~seed:7 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int p 13 in
+    if v < 0 || v >= 13 then Alcotest.failf "out of bounds: %d" v
+  done
+
+let test_int_invalid () =
+  let p = Prng.create ~seed:7 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int p 0))
+
+let test_int_covers_range () =
+  let p = Prng.create ~seed:11 in
+  let seen = Array.make 6 false in
+  for _ = 1 to 1_000 do
+    seen.(Prng.int p 6) <- true
+  done;
+  check Alcotest.bool "all values hit" true (Array.for_all Fun.id seen)
+
+let test_int_in () =
+  let p = Prng.create ~seed:3 in
+  for _ = 1 to 1_000 do
+    let v = Prng.int_in p (-5) 5 in
+    if v < -5 || v > 5 then Alcotest.failf "out of range: %d" v
+  done;
+  check Alcotest.int "singleton range" 4 (Prng.int_in p 4 4)
+
+let test_float_bounds () =
+  let p = Prng.create ~seed:17 in
+  for _ = 1 to 10_000 do
+    let v = Prng.float p 1.0 in
+    if v < 0.0 || v >= 1.0 then Alcotest.failf "float out of bounds: %f" v
+  done
+
+let test_float_mean () =
+  let p = Prng.create ~seed:23 in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Prng.float p 1.0
+  done;
+  let mean = !sum /. float_of_int n in
+  check Alcotest.bool "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.02)
+
+let test_bool_balance () =
+  let p = Prng.create ~seed:29 in
+  let trues = ref 0 in
+  for _ = 1 to 10_000 do
+    if Prng.bool p then incr trues
+  done;
+  check Alcotest.bool "roughly balanced" true (abs (!trues - 5_000) < 500)
+
+let test_shuffle_is_permutation () =
+  let p = Prng.create ~seed:31 in
+  let a = Array.init 100 Fun.id in
+  Prng.shuffle p a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "permutation" (Array.init 100 Fun.id) sorted
+
+let test_shuffle_actually_moves () =
+  let p = Prng.create ~seed:37 in
+  let a = Array.init 100 Fun.id in
+  Prng.shuffle p a;
+  check Alcotest.bool "not identity" true (a <> Array.init 100 Fun.id)
+
+let test_choose () =
+  let p = Prng.create ~seed:41 in
+  for _ = 1 to 100 do
+    let v = Prng.choose p [| 10; 20; 30 |] in
+    check Alcotest.bool "member" true (List.mem v [ 10; 20; 30 ])
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Prng.choose: empty array") (fun () ->
+      ignore (Prng.choose p [||]))
+
+let test_sample_without_replacement () =
+  let p = Prng.create ~seed:43 in
+  for _ = 1 to 200 do
+    let l = Prng.sample_without_replacement p 5 20 in
+    check Alcotest.int "size" 5 (List.length l);
+    check Alcotest.bool "sorted distinct" true (List.sort_uniq compare l = l);
+    List.iter (fun v -> check Alcotest.bool "range" true (v >= 0 && v < 20)) l
+  done;
+  check Alcotest.(list int) "k = n" [ 0; 1; 2 ] (Prng.sample_without_replacement p 3 3);
+  check Alcotest.(list int) "k = 0" [] (Prng.sample_without_replacement p 0 5)
+
+let prop_sample_distinct =
+  QCheck.Test.make ~name:"sample_without_replacement: distinct, in range"
+    QCheck.(pair small_nat small_nat)
+    (fun (k, extra) ->
+      let n = k + extra in
+      let p = Prng.create ~seed:(k + (extra * 1000)) in
+      let l = Prng.sample_without_replacement p k n in
+      List.length l = k
+      && List.sort_uniq compare l = l
+      && List.for_all (fun v -> v >= 0 && v < n) l)
+
+(* --- Mex ----------------------------------------------------------- *)
+
+let test_mex_cases () =
+  check Alcotest.int "empty" 0 (Mex.of_list []);
+  check Alcotest.int "0" 1 (Mex.of_list [ 0 ]);
+  check Alcotest.int "gap" 1 (Mex.of_list [ 0; 2; 3 ]);
+  check Alcotest.int "dense" 4 (Mex.of_list [ 3; 1; 0; 2 ]);
+  check Alcotest.int "dups" 2 (Mex.of_list [ 0; 0; 1; 1 ]);
+  check Alcotest.int "negatives ignored" 1 (Mex.of_list [ -3; 0; -1 ]);
+  check Alcotest.int "only negatives" 0 (Mex.of_list [ -3; -1 ])
+
+let test_mex_sorted () =
+  check Alcotest.int "sorted dense" 3 (Mex.of_sorted [ 0; 1; 2 ]);
+  check Alcotest.int "sorted gap" 2 (Mex.of_sorted [ 0; 1; 4; 9 ]);
+  check Alcotest.int "sorted dups" 3 (Mex.of_sorted [ 0; 1; 1; 2; 2 ])
+
+let test_mex_excluding () =
+  check Alcotest.int "avoid" 2 (Mex.excluding [ 0 ] ~avoid:[ 1 ]);
+  check Alcotest.int "avoid nothing" 1 (Mex.excluding [ 0 ] ~avoid:[]);
+  check Alcotest.int "avoid everything small" 5
+    (Mex.excluding [ 0; 2; 4 ] ~avoid:[ 1; 3 ])
+
+let prop_mex_not_member =
+  QCheck.Test.make ~name:"mex s ∉ s"
+    QCheck.(list small_nat)
+    (fun s -> not (List.mem (Mex.of_list s) s))
+
+let prop_mex_minimal =
+  QCheck.Test.make ~name:"∀ k < mex s, k ∈ s"
+    QCheck.(list small_nat)
+    (fun s ->
+      let m = Mex.of_list s in
+      List.for_all (fun k -> List.mem k s) (List.init m Fun.id))
+
+let prop_mex_sorted_agrees =
+  QCheck.Test.make ~name:"of_sorted agrees with of_list"
+    QCheck.(list small_nat)
+    (fun s -> Mex.of_sorted (List.sort compare s) = Mex.of_list s)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_copy_preserves_stream;
+          Alcotest.test_case "split" `Quick test_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int invalid" `Quick test_int_invalid;
+          Alcotest.test_case "int covers range" `Quick test_int_covers_range;
+          Alcotest.test_case "int_in" `Quick test_int_in;
+          Alcotest.test_case "float bounds" `Quick test_float_bounds;
+          Alcotest.test_case "float mean" `Quick test_float_mean;
+          Alcotest.test_case "bool balance" `Quick test_bool_balance;
+          Alcotest.test_case "shuffle permutes" `Quick test_shuffle_is_permutation;
+          Alcotest.test_case "shuffle moves" `Quick test_shuffle_actually_moves;
+          Alcotest.test_case "choose" `Quick test_choose;
+          Alcotest.test_case "sample w/o replacement" `Quick
+            test_sample_without_replacement;
+          qtest prop_sample_distinct;
+        ] );
+      ( "mex",
+        [
+          Alcotest.test_case "cases" `Quick test_mex_cases;
+          Alcotest.test_case "sorted" `Quick test_mex_sorted;
+          Alcotest.test_case "excluding" `Quick test_mex_excluding;
+          qtest prop_mex_not_member;
+          qtest prop_mex_minimal;
+          qtest prop_mex_sorted_agrees;
+        ] );
+    ]
