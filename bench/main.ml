@@ -12,7 +12,10 @@
       engine itself), reporting ns/run estimates.
 
    Flags: --quick (reduced experiment sizes), --no-bench, --no-experiments,
-   --csv DIR (also dump every experiment table as CSV into DIR). *)
+   --csv DIR (also dump every experiment table as CSV into DIR),
+   --json PATH (dump a machine-readable record of every experiment row and
+   benchmark estimate to PATH), --jobs N (domains for the experiment fan-out;
+   defaults to 1 so the timings stay on an otherwise-idle machine). *)
 
 open Bechamel
 open Toolkit
@@ -174,11 +177,14 @@ let tests =
     Test.make ~name:"mex(256 lists)" (Staged.stage (mex_kernel ()));
   ]
 
+(* Runs every benchmark, prints the timing table, and returns the raw
+   (name, ns/run, r²) estimates for the --json record. *)
 let run_benchmarks () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
   let table = Table.create ~headers:[ "benchmark"; "ns/run"; "r²" ] in
+  let records = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
@@ -187,47 +193,76 @@ let run_benchmarks () =
         (fun name ols_result ->
           let ns =
             match Analyze.OLS.estimates ols_result with
-            | Some (est :: _) -> Printf.sprintf "%.0f" est
-            | _ -> "-"
+            | Some (est :: _) -> Some est
+            | _ -> None
           in
-          let r2 =
-            match Analyze.OLS.r_square ols_result with
-            | Some r -> Printf.sprintf "%.4f" r
-            | None -> "-"
-          in
-          Table.add_row table [ name; ns; r2 ])
+          let r2 = Analyze.OLS.r_square ols_result in
+          records := (name, ns, r2) :: !records;
+          Table.add_row table
+            [
+              name;
+              (match ns with Some e -> Printf.sprintf "%.0f" e | None -> "-");
+              (match r2 with Some r -> Printf.sprintf "%.4f" r | None -> "-");
+            ])
         analysis)
     tests;
   print_endline "\n=== Bechamel timings (monotonic clock, OLS vs runs) ===";
-  Table.print table
+  Table.print table;
+  List.rev !records
 
 let () =
   let argv = Array.to_list Sys.argv in
   let quick = List.mem "--quick" argv in
   let no_bench = List.mem "--no-bench" argv in
   let no_experiments = List.mem "--no-experiments" argv in
-  let csv_dir =
+  let find_opt flag =
     let rec find = function
-      | "--csv" :: dir :: _ -> Some dir
+      | f :: v :: _ when f = flag -> Some v
       | _ :: rest -> find rest
       | [] -> None
     in
     find argv
   in
-  if not no_experiments then begin
-    print_endline "=== Reproduction experiments (see DESIGN.md / EXPERIMENTS.md) ===";
-    let outcomes = Asyncolor_experiments.Registry.run_all ~quick () in
-    (match csv_dir with
-    | None -> ()
-    | Some dir ->
-        let written =
-          List.concat_map (Asyncolor_experiments.Outcome.write_csvs ~dir) outcomes
-        in
-        Printf.printf "\nwrote %d CSV files to %s\n" (List.length written) dir);
-    Printf.printf "\nexperiments reproduced: %d/%d\n"
-      (List.length
-         (List.filter (fun (o : Asyncolor_experiments.Outcome.t) -> o.ok) outcomes))
-      (List.length outcomes);
-    if not (Asyncolor_experiments.Outcome.all_ok outcomes) then exit 1
-  end;
-  if not no_bench then run_benchmarks ()
+  let csv_dir = find_opt "--csv" in
+  let json_path = find_opt "--json" in
+  let jobs =
+    match find_opt "--jobs" with Some n -> int_of_string n | None -> 1
+  in
+  let outcomes =
+    if no_experiments then []
+    else begin
+      print_endline "=== Reproduction experiments (see DESIGN.md / EXPERIMENTS.md) ===";
+      let outcomes = Asyncolor_experiments.Registry.run_all ~quick ~jobs () in
+      (match csv_dir with
+      | None -> ()
+      | Some dir ->
+          let written =
+            List.concat_map (Asyncolor_experiments.Outcome.write_csvs ~dir) outcomes
+          in
+          Printf.printf "\nwrote %d CSV files to %s\n" (List.length written) dir);
+      Printf.printf "\nexperiments reproduced: %d/%d\n"
+        (List.length
+           (List.filter (fun (o : Asyncolor_experiments.Outcome.t) -> o.ok) outcomes))
+        (List.length outcomes);
+      outcomes
+    end
+  in
+  let bench_records = if no_bench then [] else run_benchmarks () in
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      let module J = Asyncolor_util.Jsonout in
+      let bench_json (name, ns, r2) =
+        let num = function Some f -> J.Float f | None -> J.Null in
+        J.Obj
+          [ ("name", J.String name); ("ns_per_run", num ns); ("r_square", num r2) ]
+      in
+      J.write path
+        (J.Obj
+           [
+             ( "experiments",
+               J.List (List.map Asyncolor_experiments.Outcome.to_json outcomes) );
+             ("benchmarks", J.List (List.map bench_json bench_records));
+           ]);
+      Printf.printf "\nwrote JSON report to %s\n" path);
+  if not (Asyncolor_experiments.Outcome.all_ok outcomes) then exit 1

@@ -158,6 +158,16 @@ let max_steps_arg =
 
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the trace.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Asyncolor_util.Domain_pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the embarrassingly-parallel subcommands (sweep, \
+           lockhunt, experiments).  Defaults to the recommended domain count; \
+           the output is byte-identical for every value.")
+
 let run_cmd =
   let doc = "run one execution and print the colouring" in
   let f alg n seed idents_kind adv_kind graph_kind max_steps verbose =
@@ -180,39 +190,43 @@ let sweep_cmd =
       & opt (list int) [ 4; 8; 16; 32; 64; 128 ]
       & info [ "sizes" ] ~docv:"N,N,..." ~doc:"Cycle sizes.")
   in
-  let f alg seed idents_kind sizes =
+  let f alg seed idents_kind sizes jobs =
+    (* Each size is one self-contained cell: it builds its own graph,
+       identifiers and (seed-derived) adversary suite, so the cells fan
+       out across domains and the rows merge back in size order — the
+       table is byte-identical for every --jobs value. *)
+    let row n =
+      let graph = Builders.cycle n in
+      let idents = make_idents ~kind:idents_kind ~seed n in
+      let suite = Asyncolor_experiments.Harness.adversary_suite ~seed ~n in
+      let summary =
+        match alg with
+        | 1 ->
+            let module S = Asyncolor_experiments.Harness.Sweep (Asyncolor.Algorithm1.P) in
+            S.run
+              ~equal:(fun a b -> a = b)
+              ~in_palette:(Color.pair_in_palette ~budget:2) ~graph ~idents suite
+        | 2 ->
+            let module S = Asyncolor_experiments.Harness.Sweep (Asyncolor.Algorithm2.P) in
+            S.run ~equal:Int.equal ~in_palette:Color.in_five ~graph ~idents suite
+        | 3 ->
+            let module S = Asyncolor_experiments.Harness.Sweep (Asyncolor.Algorithm3.P) in
+            S.run ~equal:Int.equal ~in_palette:Color.in_five ~graph ~idents suite
+        | n -> failwith (Printf.sprintf "sweep supports algorithms 1-3, not %d" n)
+      in
+      [
+        string_of_int n;
+        string_of_int summary.worst_rounds;
+        String.concat ";" summary.livelocked_names;
+      ]
+    in
+    let rows = Asyncolor_experiments.Harness.map_cells ~jobs row sizes in
     let table = Table.create ~headers:[ "n"; "worst rounds"; "locked schedules" ] in
-    List.iter
-      (fun n ->
-        let graph = Builders.cycle n in
-        let idents = make_idents ~kind:idents_kind ~seed n in
-        let suite = Asyncolor_experiments.Harness.adversary_suite ~seed ~n in
-        let summary =
-          match alg with
-          | 1 ->
-              let module S = Asyncolor_experiments.Harness.Sweep (Asyncolor.Algorithm1.P) in
-              S.run
-                ~equal:(fun a b -> a = b)
-                ~in_palette:(Color.pair_in_palette ~budget:2) ~graph ~idents suite
-          | 2 ->
-              let module S = Asyncolor_experiments.Harness.Sweep (Asyncolor.Algorithm2.P) in
-              S.run ~equal:Int.equal ~in_palette:Color.in_five ~graph ~idents suite
-          | 3 ->
-              let module S = Asyncolor_experiments.Harness.Sweep (Asyncolor.Algorithm3.P) in
-              S.run ~equal:Int.equal ~in_palette:Color.in_five ~graph ~idents suite
-          | n -> failwith (Printf.sprintf "sweep supports algorithms 1-3, not %d" n)
-        in
-        Table.add_row table
-          [
-            string_of_int n;
-            string_of_int summary.worst_rounds;
-            String.concat ";" summary.livelocked_names;
-          ])
-      sizes;
+    List.iter (Table.add_row table) rows;
     Table.print table
   in
   Cmd.v (Cmd.info "sweep" ~doc)
-    Term.(const f $ alg_arg $ seed_arg $ idents_arg $ sizes_arg)
+    Term.(const f $ alg_arg $ seed_arg $ idents_arg $ sizes_arg $ jobs_arg)
 
 let check_cmd =
   let doc = "exhaustively model-check a small cycle over all schedules" in
@@ -264,7 +278,7 @@ let check_cmd =
 
 let lockhunt_cmd =
   let doc = "attack every adjacent pair with the isolate-pair schedule (finding F1)" in
-  let f alg n seed idents_kind =
+  let f alg n seed idents_kind jobs =
     let graph = Builders.cycle n in
     let idents = make_idents ~kind:idents_kind ~seed n in
     let table = Table.create ~headers:[ "pair"; "locked"; "steps"; "pair activations" ] in
@@ -274,7 +288,7 @@ let lockhunt_cmd =
     let hunt (type s r) (module P : Asyncolor_kernel.Protocol.S
           with type state = s and type register = r) =
       let module H = Asyncolor_check.Lockhunt.Make (P) in
-      let findings = H.hunt graph ~idents in
+      let findings = H.hunt ~jobs graph ~idents in
       List.iter
         (fun (f : H.finding) ->
           if f.locked then
@@ -295,7 +309,8 @@ let lockhunt_cmd =
     | n -> failwith (Printf.sprintf "lockhunt supports algorithms 1-3, not %d" n));
     Table.print table
   in
-  Cmd.v (Cmd.info "lockhunt" ~doc) Term.(const f $ alg_arg $ n_arg $ seed_arg $ idents_arg)
+  Cmd.v (Cmd.info "lockhunt" ~doc)
+    Term.(const f $ alg_arg $ n_arg $ seed_arg $ idents_arg $ jobs_arg)
 
 let replay_cmd =
   let doc = "replay an explicit schedule (e.g. a lasso printed by check)" in
@@ -320,10 +335,10 @@ let experiments_cmd =
   let only_arg =
     Arg.(value & opt (some string) None & info [ "only" ] ~docv:"ID" ~doc:"Run one experiment.")
   in
-  let f quick only =
+  let f quick only jobs =
     match only with
     | None ->
-        let outcomes = Asyncolor_experiments.Registry.run_all ~quick () in
+        let outcomes = Asyncolor_experiments.Registry.run_all ~quick ~jobs () in
         if not (Asyncolor_experiments.Outcome.all_ok outcomes) then exit 1
     | Some id -> (
         match Asyncolor_experiments.Registry.find id with
@@ -335,7 +350,7 @@ let experiments_cmd =
             Asyncolor_experiments.Outcome.print outcome;
             if not outcome.ok then exit 1)
   in
-  Cmd.v (Cmd.info "experiments" ~doc) Term.(const f $ quick_arg $ only_arg)
+  Cmd.v (Cmd.info "experiments" ~doc) Term.(const f $ quick_arg $ only_arg $ jobs_arg)
 
 let () =
   let doc = "wait-free colouring of the asynchronous cycle (PODC 2022 reproduction)" in

@@ -1,3 +1,5 @@
+module Vec = Asyncolor_util.Vec
+
 module Make (P : Asyncolor_kernel.Protocol.S) = struct
   module E = Asyncolor_kernel.Engine.Make (P)
 
@@ -22,9 +24,9 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
 
   (* Parent pointers give, for every configuration, one schedule prefix
      that reaches it. *)
-  let schedule_to parents id =
+  let schedule_to parent id =
     let rec loop id acc =
-      match parents.(id) with
+      match parent id with
       | None -> acc
       | Some (pred, subset) -> loop pred (subset :: acc)
     in
@@ -46,31 +48,55 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
             !acc)
 
   let explore ?(max_configs = 500_000) ?(max_violations = 5) ?(mode = `All_subsets)
-      ?check_outputs ?check_config graph ~idents =
+      ?(impl = `Hashcons) ?check_outputs ?check_config graph ~idents =
     let n = Asyncolor_topology.Graph.n graph in
     let engine = E.create graph ~idents in
     let initial = E.snapshot engine in
-    (* id assignment and storage *)
-    let ids = ref CMap.empty in
-    let store : (int, E.config) Hashtbl.t = Hashtbl.create 1024 in
-    let adj : (int, (int list * int) list) Hashtbl.t = Hashtbl.create 1024 in
-    let parents_tbl : (int, (int * int list) option) Hashtbl.t = Hashtbl.create 1024 in
+    (* The hash-consed store: dense ids into growable arrays.  [store]
+       keeps the boxed configuration only for [E.restore]; identity and
+       lookup go through the packed key. *)
+    let store : E.config Vec.t = Vec.create ~capacity:1024 ~dummy:initial () in
+    let parents : (int * int list) option Vec.t =
+      Vec.create ~capacity:1024 ~dummy:None ()
+    in
+    let adj : (int list * int) list Vec.t = Vec.create ~capacity:1024 ~dummy:[] () in
     let next_id = ref 0 in
     let transitions = ref 0 in
     let terminal = ref 0 in
     let safety = ref [] in
     let n_safety = ref 0 in
     let complete = ref true in
-    let intern config =
-      match CMap.find_opt config !ids with
-      | Some id -> (id, false)
-      | None ->
-          let id = !next_id in
-          incr next_id;
-          ids := CMap.add config id !ids;
-          Hashtbl.replace store id config;
-          if E.config_unfinished config = [] then incr terminal;
-          (id, true)
+    let register config =
+      let id = !next_id in
+      incr next_id;
+      Vec.push store config;
+      Vec.push parents None;
+      if E.config_unfinished config = [] then incr terminal;
+      id
+    in
+    let intern =
+      match impl with
+      | `Hashcons ->
+          let ids = E.Key_tbl.create 1024 in
+          fun config ->
+            let key = E.config_key config in
+            (match E.Key_tbl.find_opt ids key with
+            | Some id -> (id, false)
+            | None ->
+                let id = register config in
+                E.Key_tbl.add ids key id;
+                (id, true))
+      | `Reference ->
+          (* the seed implementation: a Map over [config_compare]; kept as
+             the oracle for the differential tests *)
+          let ids = ref CMap.empty in
+          fun config ->
+            (match CMap.find_opt config !ids with
+            | Some id -> (id, false)
+            | None ->
+                let id = register config in
+                ids := CMap.add config id !ids;
+                (id, true))
     in
     (* Runs the safety predicates; the engine must currently hold [config].
        Violations are recorded as (message, config id); schedules are
@@ -95,12 +121,11 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
     in
     let queue = Queue.create () in
     let root_id, _ = intern initial in
-    Hashtbl.replace parents_tbl root_id None;
     check root_id initial;
     Queue.add root_id queue;
     while not (Queue.is_empty queue) do
       let uid = Queue.pop queue in
-      let config = Hashtbl.find store uid in
+      let config = Vec.get store uid in
       let unfinished = E.config_unfinished config in
       let succs = ref [] in
       List.iter
@@ -113,29 +138,28 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
             incr transitions;
             succs := (subset, vid) :: !succs;
             if fresh then begin
-              Hashtbl.replace parents_tbl vid (Some (uid, subset));
+              Vec.set parents vid (Some (uid, subset));
               check vid succ;
               Queue.add vid queue
             end
           end
           else complete := false)
         (subsets_of mode unfinished);
-      Hashtbl.replace adj uid (List.rev !succs)
+      Vec.set_grow adj uid (List.rev !succs)
     done;
     let total = !next_id in
-    let parents = Array.init total (fun id -> Hashtbl.find parents_tbl id) in
     (* attach schedules to recorded safety violations *)
     let safety =
       List.rev !safety
       |> List.map (fun (message, id) ->
-             { message; schedule = schedule_to parents id })
+             { message; schedule = schedule_to (Vec.get parents) id })
     in
     (* Cycle detection by iterative DFS from the root; all stored configs
        are reachable from the root by construction. *)
     let color = Array.make total 0 in
     let livelock = ref None in
     let finish_order = ref [] in
-    let edges_of id = try Hashtbl.find adj id with Not_found -> [] in
+    let edges_of id = if id < Vec.length adj then Vec.get adj id else [] in
     let rec dfs path id =
       (* [path] is the list of subsets taken from the root, newest first. *)
       color.(id) <- 1;

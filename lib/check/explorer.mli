@@ -48,6 +48,7 @@ module Make (P : Asyncolor_kernel.Protocol.S) : sig
     ?max_configs:int ->
     ?max_violations:int ->
     ?mode:[ `All_subsets | `Singletons ] ->
+    ?impl:[ `Hashcons | `Reference ] ->
     ?check_outputs:(P.output option array -> string option) ->
     ?check_config:(E.t -> string option) ->
     Asyncolor_topology.Graph.t ->
@@ -64,7 +65,16 @@ module Make (P : Asyncolor_kernel.Protocol.S) : sig
       time step), i.e. executions with no perfectly-simultaneous rounds.
       The distinction matters: see the "phase-lock" finding in
       EXPERIMENTS.md.  Defaults: [max_configs = 500_000],
-      [max_violations = 5]. *)
+      [max_violations = 5].
+
+      [impl] selects how configurations are interned: [`Hashcons]
+      (default) through the packed integer keys of
+      {!Asyncolor_kernel.Engine.Make.config_key} in a hash table;
+      [`Reference] through a [Map] over [config_compare] — the seed
+      implementation, kept as the oracle for the differential tests.
+      Both produce identical reports (schedules included); [`Hashcons]
+      avoids the polymorphic-comparison interning bottleneck and is what
+      lets exhaustive checks reach one cycle size further. *)
 
   val pp_report : Format.formatter -> report -> unit
 end

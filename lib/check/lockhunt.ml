@@ -1,5 +1,6 @@
 module Graph = Asyncolor_topology.Graph
 module Adversary = Asyncolor_kernel.Adversary
+module Domain_pool = Asyncolor_util.Domain_pool
 
 module Make (P : Asyncolor_kernel.Protocol.S) = struct
   module E = Asyncolor_kernel.Engine.Make (P)
@@ -25,8 +26,13 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
       pair_activations = (r.activations_per_process.(p), r.activations_per_process.(q));
     }
 
-  let hunt ?max_steps graph ~idents =
-    List.map (fun (u, v) -> probe ?max_steps graph ~idents (u, v)) (Graph.edges graph)
+  let hunt ?max_steps ?(jobs = 1) graph ~idents =
+    let attack (u, v) = probe ?max_steps graph ~idents (u, v) in
+    let edges = Graph.edges graph in
+    if jobs <= 1 then List.map attack edges
+    else
+      Domain_pool.with_pool ~jobs (fun pool ->
+          Domain_pool.map_list pool attack edges)
 
   let locked findings =
     List.filter_map (fun f -> if f.locked then Some f.pair else None) findings

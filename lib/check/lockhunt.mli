@@ -24,10 +24,14 @@ module Make (P : Asyncolor_kernel.Protocol.S) : sig
 
   val hunt :
     ?max_steps:int ->
+    ?jobs:int ->
     Asyncolor_topology.Graph.t ->
     idents:int array ->
     finding list
-  (** Attack every edge; findings in edge order. *)
+  (** Attack every edge; findings in edge order.  Each probe runs its own
+      engine, so with [jobs > 1] the edges fan out across that many
+      domains ({!Asyncolor_util.Domain_pool}); the findings come back in
+      edge order regardless.  [jobs] defaults to [1] (sequential). *)
 
   val locked : finding list -> (int * int) list
   (** The pairs that locked. *)

@@ -27,6 +27,18 @@ module P = struct
 
   let equal_state (s : state) (s' : state) = s = s'
   let equal_register = equal_state
+
+  let encode_state emit s =
+    emit s.x;
+    emit s.a;
+    emit s.b
+
+  let encode_register = encode_state
+
+  let encode_output emit ((a, b) : output) =
+    emit a;
+    emit b
+
   let pp_state ppf s = Format.fprintf ppf "{x=%d;a=%d;b=%d}" s.x s.a s.b
   let pp_register = pp_state
   let pp_output = Color.pp_pair

@@ -60,6 +60,15 @@ module P = struct
   let equal_state (s : state) (s' : state) = s = s'
   let equal_register = equal_state
 
+  let encode_state emit s =
+    emit s.x;
+    Rank.encode emit s.r;
+    emit s.a;
+    emit s.b
+
+  let encode_register = encode_state
+  let encode_output emit (c : output) = emit c
+
   let pp_state ppf s =
     Format.fprintf ppf "{x=%d;r=%a;a=%d;b=%d}" s.x Rank.pp s.r s.a s.b
 

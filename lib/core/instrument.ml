@@ -73,6 +73,25 @@ module P = struct
 
   let equal_register = equal_state
 
+  let encode_set emit set =
+    emit (IntSet.cardinal set);
+    IntSet.iter emit set
+
+  let encode_state emit s =
+    emit s.base.Algorithm1.x;
+    emit s.base.Algorithm1.a;
+    emit s.base.Algorithm1.b;
+    encode_set emit s.shadow.a_set;
+    encode_set emit s.shadow.b_set;
+    emit s.higher_awake;
+    emit s.lower_awake
+
+  let encode_register = encode_state
+
+  let encode_output emit ((a, b) : output) =
+    emit a;
+    emit b
+
   let pp_state ppf s =
     let pp_set ppf set =
       Format.fprintf ppf "{%a}"

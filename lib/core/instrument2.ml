@@ -57,6 +57,17 @@ module P = struct
 
   let equal_register = equal_state
 
+  let encode_state emit s =
+    emit s.base.Algorithm2.x;
+    emit s.base.Algorithm2.a;
+    emit s.base.Algorithm2.b;
+    emit (IntSet.cardinal s.a_set);
+    IntSet.iter emit s.a_set;
+    emit s.higher_awake
+
+  let encode_register = encode_state
+  let encode_output emit (c : output) = emit c
+
   let pp_state ppf s =
     Format.fprintf ppf "{x=%d;a=%d;b=%d;|A|=%d}" s.base.Algorithm2.x
       s.base.Algorithm2.a s.base.Algorithm2.b (IntSet.cardinal s.a_set)

@@ -15,6 +15,12 @@ let ( <= ) a b = compare a b <= 0
 let min a b = if a <= b then a else b
 let equal a b = compare a b = 0
 
+let encode emit = function
+  | Fin k ->
+      emit 0;
+      emit k
+  | Inf -> emit 1
+
 let pp ppf = function
   | Fin k -> Format.pp_print_int ppf k
   | Inf -> Format.pp_print_string ppf "∞"

@@ -16,4 +16,8 @@ val compare : t -> t -> int
 val ( <= ) : t -> t -> bool
 val min : t -> t -> t
 val equal : t -> t -> bool
+
+val encode : (int -> unit) -> t -> unit
+(** Injective integer encoding for the run-core packed-key layer. *)
+
 val pp : Format.formatter -> t -> unit

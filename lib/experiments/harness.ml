@@ -1,6 +1,12 @@
 module Adversary = Asyncolor_kernel.Adversary
 module Prng = Asyncolor_util.Prng
+module Domain_pool = Asyncolor_util.Domain_pool
 module Checker = Asyncolor.Checker
+
+let map_cells ?jobs f cells =
+  match jobs with
+  | Some j when j <= 1 -> List.map f cells
+  | _ -> Domain_pool.with_pool ?jobs (fun pool -> Domain_pool.map_list pool f cells)
 
 let adversary_suite ~seed ~n =
   ignore n;

@@ -102,10 +102,10 @@ let find id =
   let id = String.lowercase_ascii id in
   List.find_opt (fun e -> String.lowercase_ascii e.id = id) all
 
-let run_all ?quick () =
-  List.map
-    (fun e ->
-      let outcome = e.run ?quick () in
-      Outcome.print outcome;
-      outcome)
-    all
+let run_all ?quick ?(jobs = 1) () =
+  (* Experiments are pure cells (they build tables, the printing happens
+     here), so they fan out across domains; outcomes print in registry
+     order either way. *)
+  let outcomes = Harness.map_cells ~jobs (fun e -> e.run ?quick ()) all in
+  List.iter Outcome.print outcomes;
+  outcomes

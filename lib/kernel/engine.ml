@@ -152,6 +152,8 @@ module Make (P : Protocol.S) = struct
     c_states : P.state option array;
     c_status : P.output Status.t array;
     c_public : P.register option array;
+    c_time : int;
+    c_activations : int array;
   }
 
   let snapshot t =
@@ -159,15 +161,92 @@ module Make (P : Protocol.S) = struct
       c_states = Array.copy t.states;
       c_status = Array.copy t.status;
       c_public = Array.copy t.public;
+      c_time = t.time;
+      c_activations = Array.copy t.activations;
     }
 
   let restore t c =
     Array.blit c.c_states 0 t.states 0 (Array.length c.c_states);
     Array.blit c.c_status 0 t.status 0 (Array.length c.c_status);
     Array.blit c.c_public 0 t.public 0 (Array.length c.c_public);
+    Array.blit c.c_activations 0 t.activations 0 (Array.length c.c_activations);
+    t.time <- c.c_time;
     t.unfinished_cache <- None
 
-  let config_compare (a : config) (b : config) = compare a b
+  (* Configuration identity covers only the process-visible part
+     (states, statuses, registers); the observers captured for [restore]
+     (time, activation counters) are deliberately excluded. *)
+  let config_compare (a : config) (b : config) =
+    compare
+      (a.c_states, a.c_status, a.c_public)
+      (b.c_states, b.c_status, b.c_public)
+
+  (* --- packed configuration keys ----------------------------------- *)
+
+  (* A key is the per-process concatenation of status, state and register,
+     flattened to integers by the protocol's encoders.  Variable-length
+     payloads are length-prefixed here, so key equality coincides with
+     structural configuration equality as long as the encoders are
+     injective (the {!Protocol.S} contract). *)
+
+  type key = { kdata : int array; khash : int }
+
+  let hash_ints a =
+    let h = ref 0 in
+    for i = 0 to Array.length a - 1 do
+      h := ((!h * 31) + a.(i)) land max_int
+    done;
+    !h
+
+  let config_key c =
+    let buf = Asyncolor_util.Vec.create ~capacity:64 ~dummy:0 () in
+    let emit x = Asyncolor_util.Vec.push buf x in
+    (* emit a length placeholder, run the payload encoder, patch it *)
+    let framed encode =
+      let at = Asyncolor_util.Vec.length buf in
+      emit 0;
+      encode ();
+      Asyncolor_util.Vec.set buf at (Asyncolor_util.Vec.length buf - at - 1)
+    in
+    let n = Array.length c.c_status in
+    for p = 0 to n - 1 do
+      (match c.c_status.(p) with
+      | Status.Asleep -> emit 0
+      | Status.Working -> emit 1
+      | Status.Returned o ->
+          emit 2;
+          framed (fun () -> P.encode_output emit o));
+      (match c.c_states.(p) with
+      | None -> emit 0
+      | Some s ->
+          emit 1;
+          framed (fun () -> P.encode_state emit s));
+      match c.c_public.(p) with
+      | None -> emit 0
+      | Some r ->
+          emit 1;
+          framed (fun () -> P.encode_register emit r)
+    done;
+    let kdata = Asyncolor_util.Vec.to_array buf in
+    { kdata; khash = hash_ints kdata }
+
+  let key_hash k = k.khash
+
+  let key_equal a b =
+    a.khash = b.khash
+    &&
+    let la = Array.length a.kdata in
+    la = Array.length b.kdata
+    &&
+    let rec eq i = i >= la || (a.kdata.(i) = b.kdata.(i) && eq (i + 1)) in
+    eq 0
+
+  module Key_tbl = Hashtbl.Make (struct
+    type t = key
+
+    let equal = key_equal
+    let hash = key_hash
+  end)
 
   let config_unfinished c =
     let acc = ref [] in

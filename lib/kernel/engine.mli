@@ -76,28 +76,60 @@ module Make (P : Protocol.S) : sig
 
   (** {1 Configuration snapshots}
 
-      A configuration is the part of the global state visible to the model
-      checker: per-process status, private state and register content.
-      Time, activation counters, traces and monitors are deliberately
-      excluded — two points of an execution with equal configurations are
-      indistinguishable to every process, which is what makes cycle
-      detection in the configuration graph sound. *)
+      A configuration records an execution point: per-process status,
+      private state and register content, plus the observers — the time
+      step and the per-process activation counters.
+
+      The {e restore contract}: {!restore} rewinds the engine to the
+      execution point in full, observers included, so a snapshot/restore
+      loop (explorer, adaptive adversary) can never leak activation
+      counts or time from one explored branch into another.
+
+      {e Configuration identity} ({!config_compare}, {!config_key}) is
+      narrower: it covers only the process-visible part (status, state,
+      register) and deliberately ignores the observers — two points of an
+      execution with equal visible parts are indistinguishable to every
+      process, which is what makes cycle detection in the configuration
+      graph sound.  Traces and monitors are part of neither. *)
 
   type config
 
   val snapshot : t -> config
   val restore : t -> config -> unit
-  (** [restore t c] rewinds statuses, states and registers to [c].  Time
-      and activation counters are left untouched (they are observers, not
-      part of the configuration). *)
+  (** [restore t c] rewinds statuses, states, registers, the time counter
+      and the per-process activation counters to their values at
+      [snapshot].  The recorded trace and the monitor are left alone. *)
 
   val config_compare : config -> config -> int
-  (** Total order on configurations (structural).  Requires [P.state] and
-      [P.register] to be pure data (no functions, no cycles), which holds
-      for every protocol in this repository. *)
+  (** Total order on the process-visible part of configurations
+      (structural; time and activation counters are ignored — see the
+      identity note above).  Requires [P.state] and [P.register] to be
+      pure data (no functions, no cycles), which holds for every protocol
+      in this repository. *)
 
   val config_unfinished : config -> int list
   val config_outputs : config -> P.output option array
+
+  (** {1 Packed configuration keys}
+
+      The run-core layer interns configurations through a packed integer
+      key built by the protocol's {!Protocol.S.encode_state} family
+      instead of polymorphic comparison over boxed option arrays.  Key
+      equality coincides with [config_compare x y = 0] whenever the
+      encoders are injective (the {!Protocol.S} contract). *)
+
+  type key
+
+  val config_key : config -> key
+  (** Pack the process-visible part of [c] into a flat, hashable key
+      (observers excluded, exactly like {!config_compare}). *)
+
+  val key_hash : key -> int
+  val key_equal : key -> key -> bool
+
+  module Key_tbl : Hashtbl.S with type key = key
+  (** Hash table over packed keys — the hash-consed configuration store
+      of {!Asyncolor_check.Explorer}. *)
 
   (** {1 Running against an adversary} *)
 

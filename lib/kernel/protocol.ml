@@ -37,6 +37,23 @@ module type S = sig
       node's local order (the order of {!Asyncolor_topology.Graph.neighbours});
       [None] encodes [⊥].  Must be deterministic and total. *)
 
+  (** {2 Compact encoders}
+
+      The run-core layer identifies configurations through a packed
+      integer key ({!Engine.Make.config_key}) instead of polymorphic
+      comparison of boxed values.  Each encoder emits a sequence of
+      integers that {e uniquely determines} the encoded value: two values
+      are equal (in the sense of [equal_state]/[equal_register]) iff they
+      emit the same sequence.  Fixed-width fields can be emitted directly;
+      variable-length collections must be length-prefixed by the encoder
+      itself (the engine frames whole fields, not their interiors).  The
+      engine supplies the [emit] sink; encoders must call it and nothing
+      else. *)
+
+  val encode_state : (int -> unit) -> state -> unit
+  val encode_register : (int -> unit) -> register -> unit
+  val encode_output : (int -> unit) -> output -> unit
+
   val equal_state : state -> state -> bool
   (** Structural equality; used by the model checker to canonicalise
       configurations. *)

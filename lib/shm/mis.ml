@@ -45,6 +45,9 @@ module Greedy = struct
 
     let equal_state (s : state) (s' : state) = s = s'
     let equal_register = equal_state
+    let encode_state emit s = emit s.x
+    let encode_register = encode_state
+    let encode_output emit (b : output) = emit (Bool.to_int b)
     let pp_state ppf s = Format.fprintf ppf "{x=%d}" s.x
     let pp_register = pp_state
     let pp_output = Format.pp_print_bool
@@ -89,6 +92,17 @@ module Cautious = struct
 
     let equal_state (s : state) (s' : state) = s = s'
     let equal_register = equal_state
+
+    let encode_state emit s =
+      emit s.x;
+      emit
+        (match s.decision with
+        | Undecided -> 0
+        | Pending false -> 1
+        | Pending true -> 2)
+
+    let encode_register = encode_state
+    let encode_output emit (b : output) = emit (Bool.to_int b)
 
     let pp_state ppf s =
       let d =

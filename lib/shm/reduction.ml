@@ -28,6 +28,13 @@ module Make (M : Asyncolor_kernel.Protocol.S with type output = bool) = struct
     let equal_state a b = a.me = b.me && M.equal_state a.inner b.inner
     let equal_register = M.equal_register
 
+    let encode_state emit s =
+      emit s.me;
+      M.encode_state emit s.inner
+
+    let encode_register = M.encode_register
+    let encode_output emit (c : output) = emit c
+
     let pp_state ppf s = Format.fprintf ppf "{p%d;%a}" s.me M.pp_state s.inner
     let pp_register = M.pp_register
     let pp_output = Format.pp_print_int

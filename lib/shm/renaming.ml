@@ -38,6 +38,13 @@ module P = struct
 
   let equal_state (s : state) (s' : state) = s = s'
   let equal_register = equal_state
+
+  let encode_state emit s =
+    emit s.x;
+    emit s.proposal
+
+  let encode_register = encode_state
+  let encode_output emit (c : output) = emit c
   let pp_state ppf s = Format.fprintf ppf "{x=%d;prop=%d}" s.x s.proposal
   let pp_register = pp_state
   let pp_output = Format.pp_print_int

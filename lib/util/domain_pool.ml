@@ -1,0 +1,147 @@
+(* A fixed-size pool of OCaml 5 domains fed through a Mutex/Condition work
+   queue.  One batch (a [map] call) is in flight at a time; its items are
+   drained by the worker domains *and* the calling domain, so a pool of
+   [jobs] runs [jobs] items concurrently with only [jobs - 1] spawned
+   domains, and [jobs = 1] degenerates to a plain sequential loop. *)
+
+type batch = {
+  run_item : int -> unit;  (* never raises; exceptions are recorded *)
+  total : int;
+  mutable next : int;  (* next item index to hand out *)
+  mutable finished : int;  (* items fully executed *)
+}
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  batch_done : Condition.t;
+  mutable batch : batch option;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+let jobs t = t.jobs
+
+(* Grab the next item index of the current batch, or block until work
+   arrives.  Called with [t.mutex] held; returns with it released. *)
+let rec next_item t =
+  if t.stopping then begin
+    Mutex.unlock t.mutex;
+    None
+  end
+  else
+    match t.batch with
+    | Some b when b.next < b.total ->
+        let i = b.next in
+        b.next <- i + 1;
+        Mutex.unlock t.mutex;
+        Some (b, i)
+    | _ ->
+        Condition.wait t.work_available t.mutex;
+        next_item t
+
+let finish_item t b =
+  Mutex.lock t.mutex;
+  b.finished <- b.finished + 1;
+  if b.finished = b.total then Condition.broadcast t.batch_done;
+  Mutex.unlock t.mutex
+
+let rec worker t =
+  Mutex.lock t.mutex;
+  match next_item t with
+  | None -> ()
+  | Some (b, i) ->
+      b.run_item i;
+      finish_item t b;
+      worker t
+
+let create ?jobs () =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      batch_done = Condition.create ();
+      batch = None;
+      stopping = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopping <- true;
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let map t f input =
+  let total = Array.length input in
+  if total = 0 then [||]
+  else begin
+    let results = Array.make total None in
+    (* first (lowest-index) exception wins, so failures are deterministic
+       regardless of which domain hit them *)
+    let error = ref None in
+    let record_error i exn bt =
+      Mutex.lock t.mutex;
+      (match !error with
+      | Some (j, _, _) when j <= i -> ()
+      | _ -> error := Some (i, exn, bt));
+      Mutex.unlock t.mutex
+    in
+    let run_item i =
+      match f input.(i) with
+      | v -> results.(i) <- Some v
+      | exception exn -> record_error i exn (Printexc.get_raw_backtrace ())
+    in
+    let b = { run_item; total; next = 0; finished = 0 } in
+    Mutex.lock t.mutex;
+    if t.stopping then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Domain_pool.map: pool is shut down"
+    end;
+    if t.batch <> None then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Domain_pool.map: pool already has a batch in flight"
+    end;
+    t.batch <- Some b;
+    Condition.broadcast t.work_available;
+    (* the calling domain drains items alongside the workers *)
+    let rec drain () =
+      if b.next < b.total then begin
+        let i = b.next in
+        b.next <- i + 1;
+        Mutex.unlock t.mutex;
+        b.run_item i;
+        Mutex.lock t.mutex;
+        b.finished <- b.finished + 1;
+        if b.finished = b.total then Condition.broadcast t.batch_done;
+        drain ()
+      end
+    in
+    drain ();
+    while b.finished < b.total do
+      Condition.wait t.batch_done t.mutex
+    done;
+    t.batch <- None;
+    Mutex.unlock t.mutex;
+    match !error with
+    | Some (_, exn, bt) -> Printexc.raise_with_backtrace exn bt
+    | None ->
+        Array.map
+          (function Some v -> v | None -> assert false (* every item ran *))
+          results
+  end
+
+let map_list t f input = Array.to_list (map t f (Array.of_list input))
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,45 @@
+(** A reusable pool of OCaml 5 domains behind a [Mutex]/[Condition] work
+    queue — the parallel half of the run-core layer.
+
+    The sweep harness and the experiments registry push independent
+    (adversary × identifier-assignment × n) cells through {!map}; results
+    come back merged by input index, so output is deterministic and
+    byte-identical whatever the pool size.  Cells must be self-contained:
+    derive PRNG seeds per cell (as {!Asyncolor_experiments.Harness} does)
+    and share no mutable state across cells.
+
+    A pool runs one {!map} at a time; the calling domain participates in
+    draining the batch, so [create ~jobs:n] spawns only [n - 1] domains
+    and [jobs = 1] executes sequentially on the caller with no domain
+    spawned at all.  Nested or concurrent [map] calls on the same pool
+    raise [Invalid_argument]. *)
+
+type t
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains (clamped to at
+    least 1 job; default {!default_jobs}).  The pool is reusable across
+    many {!map} calls until {!shutdown}. *)
+
+val jobs : t -> int
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map] with deterministic result order: output index
+    [i] always holds [f input.(i)].  If any [f] raises, the whole batch
+    still drains, then the exception of the {e lowest} failing index is
+    re-raised (with its backtrace) — deterministic regardless of domain
+    scheduling. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} over lists, preserving order. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Subsequent {!map} calls raise
+    [Invalid_argument]. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and always shuts it down,
+    including on exceptions. *)

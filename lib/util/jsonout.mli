@@ -1,0 +1,18 @@
+(** Minimal JSON emission — enough for the machine-readable outputs of the
+    bench driver ([--json]) without pulling in a JSON dependency.  Emission
+    only; there is deliberately no parser. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** non-finite floats are emitted as [null] *)
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Render with two-space indentation and a trailing newline. *)
+
+val write : string -> t -> unit
+(** [write path v] writes {!to_string}[ v] to [path]. *)

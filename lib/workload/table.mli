@@ -8,6 +8,11 @@ val add_row : t -> string list -> unit
 (** @raise Invalid_argument if the row width differs from the header. *)
 
 val row_int : int list -> string list
+
+val headers : t -> string list
+val rows : t -> string list list
+(** Data rows in insertion order (headers excluded). *)
+
 val to_string : t -> string
 
 val to_csv : t -> string

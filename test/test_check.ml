@@ -26,6 +26,13 @@ struct
 
   let equal_state a b = a = b
   let equal_register () () = true
+
+  let encode_state emit s =
+    emit s.ident;
+    emit s.left
+
+  let encode_register _ () = ()
+  let encode_output emit (c : output) = emit c
   let pp_state ppf s = Format.fprintf ppf "%d" s.left
   let pp_register ppf () = Format.pp_print_string ppf "()"
   let pp_output = Format.pp_print_int
@@ -43,6 +50,9 @@ module Forever = struct
   let transition () ~view:_ = Step.Continue ()
   let equal_state () () = true
   let equal_register () () = true
+  let encode_state _ () = ()
+  let encode_register _ () = ()
+  let encode_output emit (c : output) = emit c
   let pp_state ppf () = Format.pp_print_string ppf "()"
   let pp_register ppf () = Format.pp_print_string ppf "()"
   let pp_output = Format.pp_print_int
@@ -130,6 +140,60 @@ let test_max_violations_cap () =
   in
   let r = E.explore ~max_violations:2 g3 ~idents:[| 0; 1; 2 |] ~check_outputs in
   check Alcotest.bool "capped at 2" true (List.length r.safety <= 2)
+
+(* --- differential: hash-consed interning vs the reference Map ---------- *)
+
+(* The packed-key explorer must be report-identical (counts, verdicts,
+   witness schedules — everything) to the seed [`Reference] implementation
+   on the exhaustive instances the paper claims rest on (E6, E13, E17). *)
+let diff_report (type s r o)
+    (module P : Asyncolor_kernel.Protocol.S
+      with type state = s and type register = r and type output = o)
+    ?max_configs ?check_outputs ~mode graph ~idents () =
+  let module E = Explorer.Make (P) in
+  let explore impl =
+    E.explore ?max_configs ?check_outputs ~mode ~impl graph ~idents
+  in
+  let report = Alcotest.testable E.pp_report ( = ) in
+  check report "hash-consed report = reference report" (explore `Reference)
+    (explore `Hashcons)
+
+let test_differential_alg2_c3 () =
+  (* the E6/E13 instances: every C3 identifier assignment the experiments
+     quote, in both schedule spaces *)
+  let c3 = Builders.cycle 3 in
+  List.iter
+    (fun idents ->
+      List.iter
+        (fun mode -> diff_report (module Asyncolor.Algorithm2.P) ~mode c3 ~idents ())
+        [ `All_subsets; `Singletons ])
+    [ [| 5; 1; 9 |]; [| 0; 1; 2 |]; [| 2; 0; 1 |]; [| 7; 3; 5 |] ]
+
+let test_differential_c4 () =
+  let c4 = Builders.cycle 4 in
+  diff_report (module Asyncolor.Algorithm1.P) ~mode:`Singletons c4
+    ~idents:[| 5; 1; 9; 4 |] ();
+  diff_report (module Asyncolor.Algorithm2.P) ~mode:`All_subsets c4
+    ~idents:[| 5; 1; 9; 4 |] ()
+
+let test_differential_alg3_alg2s () =
+  (* E6's Algorithm 3 instance and E17's rank-offset repair (the monotone
+     C4 refutation instance) *)
+  diff_report (module Asyncolor.Algorithm3.P) ~mode:`All_subsets (Builders.cycle 3)
+    ~idents:[| 12; 47; 30 |] ();
+  diff_report (module Asyncolor.Algorithm2s.P) ~mode:`All_subsets (Builders.cycle 4)
+    ~idents:[| 0; 1; 2; 3 |] ()
+
+let test_differential_safety_and_truncation () =
+  (* safety-violation schedules and the max_configs cut-off must agree too *)
+  let g = Builders.cycle 3 in
+  let check_outputs outs =
+    if Asyncolor_shm.Mis.valid g outs then None else Some "MIS violated"
+  in
+  diff_report (module Asyncolor_shm.Mis.Greedy.P) ~check_outputs ~mode:`All_subsets g
+    ~idents:[| 0; 1; 2 |] ();
+  diff_report (module Three) ~max_configs:10 ~mode:`All_subsets g ~idents:[| 0; 1; 2 |]
+    ()
 
 (* --- lockhunt ---------------------------------------------------------- *)
 
@@ -243,5 +307,14 @@ let () =
           Alcotest.test_case "max_configs truncation" `Quick
             test_max_configs_truncation;
           Alcotest.test_case "max_violations cap" `Quick test_max_violations_cap;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "alg2 on C3 (E6/E13)" `Quick test_differential_alg2_c3;
+          Alcotest.test_case "alg1/alg2 on C4" `Quick test_differential_c4;
+          Alcotest.test_case "alg3 & alg2s (E6/E17)" `Quick
+            test_differential_alg3_alg2s;
+          Alcotest.test_case "safety schedules & truncation" `Quick
+            test_differential_safety_and_truncation;
         ] );
     ]

@@ -32,6 +32,25 @@ struct
 
   let equal_state a b = a = b
   let equal_register = Int.equal
+
+  let encode_state emit s =
+    emit s.ident;
+    emit s.rounds;
+    emit (List.length s.views);
+    List.iter
+      (fun view ->
+        emit (List.length view);
+        List.iter
+          (function
+            | None -> emit 0
+            | Some v ->
+                emit 1;
+                emit v)
+          view)
+      s.views
+
+  let encode_register emit (r : register) = emit r
+  let encode_output emit (c : output) = emit c
   let pp_state ppf s = Format.fprintf ppf "{id=%d;r=%d}" s.ident s.rounds
   let pp_register = Format.pp_print_int
   let pp_output = Format.pp_print_int
@@ -204,6 +223,66 @@ let test_snapshot_restore_roundtrip () =
   E3.restore e snap;
   E3.activate e [ 0; 1; 2 ];
   check Alcotest.int "deterministic replay" 0 (E3.config_compare again (E3.snapshot e))
+
+let test_restore_rewinds_observers () =
+  (* the restore contract: time and the per-process activation counters are
+     part of the execution point and must rewind with it, so longest-path
+     statistics measured from a restored configuration start from the
+     configuration's own counters, not the detour's *)
+  let e = mk () in
+  E3.activate e [ 0; 1 ];
+  E3.activate e [ 0 ];
+  let snap = E3.snapshot e in
+  let time = E3.time e and act0 = E3.activations e 0 in
+  E3.activate e [ 0; 1; 2 ];
+  E3.activate e [ 0; 1; 2 ];
+  E3.restore e snap;
+  check Alcotest.int "time rewound" time (E3.time e);
+  check Alcotest.int "p0 activations rewound" act0 (E3.activations e 0);
+  check Alcotest.int "p2 never activated" 0 (E3.activations e 2);
+  check Alcotest.int "max activations rewound" act0 (E3.max_activations e);
+  (* a snapshot is immune to later detours: restoring twice is idempotent *)
+  E3.activate e [ 2 ];
+  E3.restore e snap;
+  check Alcotest.int "idempotent" time (E3.time e)
+
+let test_config_key_identity () =
+  (* packed keys agree with [config_compare]: equal configurations collide,
+     distinct ones do not — including configurations that differ only in
+     execution point (same key, they are the same configuration) *)
+  let e = mk () in
+  E3.activate e [ 0; 1 ];
+  let a = E3.snapshot e in
+  E3.restore e a;
+  let b = E3.snapshot e in
+  check Alcotest.bool "equal configs, equal keys" true
+    (E3.key_equal (E3.config_key a) (E3.config_key b));
+  check Alcotest.int "equal keys, equal hash"
+    (E3.key_hash (E3.config_key a))
+    (E3.key_hash (E3.config_key b));
+  E3.activate e [ 2 ];
+  let c = E3.snapshot e in
+  check Alcotest.bool "distinct configs, distinct keys" false
+    (E3.key_equal (E3.config_key a) (E3.config_key c));
+  (* keys agree with config_compare across a batch of snapshots *)
+  let e' = mk () in
+  let snaps =
+    b :: c
+    :: List.map
+         (fun set ->
+           E3.activate e' set;
+           E3.snapshot e')
+         [ [ 0 ]; [ 1 ]; [ 0; 1 ]; [ 2 ]; [ 0; 1; 2 ] ]
+  in
+  List.iter
+    (fun x ->
+      List.iter
+        (fun y ->
+          check Alcotest.bool "key_equal iff config_compare = 0"
+            (E3.config_compare x y = 0)
+            (E3.key_equal (E3.config_key x) (E3.config_key y)))
+        snaps)
+    snaps
 
 let test_config_accessors () =
   let e = mk () in
@@ -431,6 +510,9 @@ let () =
       ( "snapshots",
         [
           Alcotest.test_case "roundtrip" `Quick test_snapshot_restore_roundtrip;
+          Alcotest.test_case "restore rewinds observers" `Quick
+            test_restore_rewinds_observers;
+          Alcotest.test_case "config key identity" `Quick test_config_key_identity;
           Alcotest.test_case "config accessors" `Quick test_config_accessors;
         ] );
       ( "runner",

@@ -170,6 +170,129 @@ let prop_mex_sorted_agrees =
     QCheck.(list small_nat)
     (fun s -> Mex.of_sorted (List.sort compare s) = Mex.of_list s)
 
+(* --- Vec ----------------------------------------------------------- *)
+
+module Vec = Asyncolor_util.Vec
+
+let test_vec_push_get () =
+  let v = Vec.create ~capacity:2 ~dummy:(-1) () in
+  for i = 0 to 99 do
+    Vec.push v (i * i)
+  done;
+  check Alcotest.int "length" 100 (Vec.length v);
+  for i = 0 to 99 do
+    check Alcotest.int "get" (i * i) (Vec.get v i)
+  done
+
+let test_vec_bounds () =
+  let v = Vec.create ~dummy:0 () in
+  Vec.push v 7;
+  Alcotest.check_raises "get out of bounds"
+    (Invalid_argument "Vec.get: index out of bounds") (fun () ->
+      ignore (Vec.get v 1));
+  Alcotest.check_raises "set out of bounds"
+    (Invalid_argument "Vec.set: index out of bounds") (fun () -> Vec.set v 1 0)
+
+let test_vec_set_grow () =
+  let v = Vec.create ~dummy:0 () in
+  Vec.set_grow v 5 42;
+  check Alcotest.int "grown length" 6 (Vec.length v);
+  check Alcotest.int "target" 42 (Vec.get v 5);
+  check Alcotest.int "filler" 0 (Vec.get v 2)
+
+let test_vec_to_array () =
+  let v = Vec.create ~dummy:"" () in
+  List.iter (Vec.push v) [ "a"; "b"; "c" ];
+  Alcotest.(check (array string)) "to_array" [| "a"; "b"; "c" |] (Vec.to_array v)
+
+(* --- Domain_pool ---------------------------------------------------- *)
+
+module Domain_pool = Asyncolor_util.Domain_pool
+
+let test_pool_map_ordering () =
+  Domain_pool.with_pool ~jobs:4 (fun pool ->
+      let input = Array.init 1_000 Fun.id in
+      let out = Domain_pool.map pool (fun x -> x * x) input in
+      Alcotest.(check (array int)) "squares in index order"
+        (Array.map (fun x -> x * x) input)
+        out)
+
+let test_pool_sequential_matches_parallel () =
+  let f x = (x * 7919) mod 104729 in
+  let input = List.init 257 Fun.id in
+  let seq = Domain_pool.with_pool ~jobs:1 (fun p -> Domain_pool.map_list p f input) in
+  let par = Domain_pool.with_pool ~jobs:4 (fun p -> Domain_pool.map_list p f input) in
+  Alcotest.(check (list int)) "jobs=1 and jobs=4 agree" seq par
+
+let test_pool_reuse () =
+  Domain_pool.with_pool ~jobs:3 (fun pool ->
+      for round = 1 to 5 do
+        let out = Domain_pool.map pool (fun x -> x + round) (Array.init 50 Fun.id) in
+        Alcotest.(check (array int))
+          (Printf.sprintf "round %d" round)
+          (Array.init 50 (fun i -> i + round))
+          out
+      done)
+
+exception Boom of int
+
+let test_pool_exception_lowest_index () =
+  (* Several items raise; the pool must deterministically rethrow the
+     lowest-index failure, whatever domain hit it first. *)
+  for _ = 1 to 10 do
+    match
+      Domain_pool.with_pool ~jobs:4 (fun pool ->
+          Domain_pool.map pool
+            (fun x -> if x mod 13 = 12 then raise (Boom x) else x)
+            (Array.init 100 Fun.id))
+    with
+    | _ -> Alcotest.fail "expected Boom"
+    | exception Boom x -> check Alcotest.int "lowest failing index" 12 x
+  done
+
+let test_pool_usable_after_exception () =
+  Domain_pool.with_pool ~jobs:4 (fun pool ->
+      (try ignore (Domain_pool.map pool (fun _ -> failwith "boom") [| 0; 1 |])
+       with Failure _ -> ());
+      let out = Domain_pool.map pool Fun.id (Array.init 10 Fun.id) in
+      Alcotest.(check (array int)) "pool survives a failed batch"
+        (Array.init 10 Fun.id) out)
+
+let test_pool_empty_and_jobs_clamp () =
+  Domain_pool.with_pool ~jobs:64 (fun pool ->
+      Alcotest.(check (array int)) "empty input" [||] (Domain_pool.map pool Fun.id [||]));
+  check Alcotest.bool "default_jobs positive" true (Domain_pool.default_jobs () >= 1)
+
+(* --- Jsonout -------------------------------------------------------- *)
+
+module Jsonout = Asyncolor_util.Jsonout
+
+let test_json_escaping () =
+  let s =
+    Jsonout.to_string
+      (Jsonout.Obj
+         [
+           ("k\"ey", Jsonout.String "line\nbreak\ttab \\ \x01");
+           ("nums", Jsonout.List [ Jsonout.Int 3; Jsonout.Float 1.5; Jsonout.Null ]);
+           ("b", Jsonout.Bool true);
+           ("empty", Jsonout.Obj []);
+         ])
+  in
+  check Alcotest.bool "escapes quote" true
+    (Astring.String.is_infix ~affix:"\"k\\\"ey\"" s);
+  check Alcotest.bool "escapes newline" true
+    (Astring.String.is_infix ~affix:"line\\nbreak\\ttab \\\\ \\u0001" s);
+  check Alcotest.bool "float has a dot" true (Astring.String.is_infix ~affix:"1.5" s);
+  check Alcotest.bool "null" true (Astring.String.is_infix ~affix:"null" s)
+
+let test_json_float_forms () =
+  check Alcotest.string "integral float gets .0" "2.0"
+    (String.trim (Jsonout.to_string (Jsonout.Float 2.)));
+  check Alcotest.string "nan is null" "null"
+    (String.trim (Jsonout.to_string (Jsonout.Float Float.nan)));
+  check Alcotest.string "inf is null" "null"
+    (String.trim (Jsonout.to_string (Jsonout.Float Float.infinity)))
+
 let () =
   Alcotest.run "util"
     [
@@ -201,5 +324,30 @@ let () =
           qtest prop_mex_not_member;
           qtest prop_mex_minimal;
           qtest prop_mex_sorted_agrees;
+        ] );
+      ( "vec",
+        [
+          Alcotest.test_case "push/get" `Quick test_vec_push_get;
+          Alcotest.test_case "bounds" `Quick test_vec_bounds;
+          Alcotest.test_case "set_grow" `Quick test_vec_set_grow;
+          Alcotest.test_case "to_array" `Quick test_vec_to_array;
+        ] );
+      ( "domain_pool",
+        [
+          Alcotest.test_case "map ordering" `Quick test_pool_map_ordering;
+          Alcotest.test_case "jobs=1 vs jobs=4" `Quick
+            test_pool_sequential_matches_parallel;
+          Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
+          Alcotest.test_case "exception: lowest index" `Quick
+            test_pool_exception_lowest_index;
+          Alcotest.test_case "usable after exception" `Quick
+            test_pool_usable_after_exception;
+          Alcotest.test_case "empty input, many jobs" `Quick
+            test_pool_empty_and_jobs_clamp;
+        ] );
+      ( "jsonout",
+        [
+          Alcotest.test_case "escaping" `Quick test_json_escaping;
+          Alcotest.test_case "float forms" `Quick test_json_float_forms;
         ] );
     ]
