@@ -9,7 +9,14 @@
 
    2. times a representative kernel of each experiment with Bechamel (one
       Test.make per experiment, plus micro-benchmarks of the simulation
-      engine itself), reporting ns/run estimates.
+      engine itself), reporting ns/run estimates;
+
+   3. runs the explore-scale section: wall-clock measurements of the
+      parallel packed explorer on the exhaustive frontier instances
+      (K4-K6 quick; C6 full-model and K7 at full size), at --jobs 1 and
+      --jobs 4, asserting the two reports identical and reporting the
+      speedup and configs/sec (also recorded under "explore_scale" in the
+      --json output).
 
    Flags: --quick (reduced experiment sizes), --no-bench, --no-experiments,
    --csv DIR (also dump every experiment table as CSV into DIR),
@@ -177,6 +184,77 @@ let tests =
     Test.make ~name:"mex(256 lists)" (Staged.stage (mex_kernel ()));
   ]
 
+(* --- explore-scale: wall-clock scaling of the parallel explorer ------- *)
+
+(* The exhaustive frontier the parallel packed explorer is meant to push:
+   the E16 renaming cliques under interleaved schedules (quick: K4-K6;
+   full: K7, the past-n=5 headline instance) and the E17 cycles in the
+   full simultaneous model (full: C6).  Each instance runs at --jobs 1 and
+   --jobs 4 and the two reports are asserted identical — the bench doubles
+   as an end-to-end determinism check on real workloads. *)
+let explore_scale_instances ~quick =
+  let base =
+    [
+      ("K4/interleaved", Builders.complete 4, [| 3; 7; 1; 9 |], `Singletons,
+       2_000_000);
+      ("K5/interleaved", Builders.complete 5, [| 3; 7; 1; 9; 5 |], `Singletons,
+       2_000_000);
+      ("K6/interleaved", Builders.complete 6, [| 3; 7; 1; 9; 5; 11 |],
+       `Singletons, 2_000_000);
+    ]
+  in
+  if quick then base
+  else
+    base
+    @ [
+        ("C6/simultaneous", Builders.cycle 6, [| 5; 1; 9; 4; 7; 2 |],
+         `All_subsets, 2_000_000);
+        ("K7/interleaved", Builders.complete 7, [| 3; 7; 1; 9; 5; 11; 2 |],
+         `Singletons, 40_000_000);
+      ]
+
+let run_explore_scale ~quick =
+  let module Exp = Asyncolor_check.Explorer.Make (Asyncolor.Algorithm2.P) in
+  print_endline
+    "\n=== explore-scale: parallel packed explorer, wall clock (jobs 1 vs 4) ===";
+  let table =
+    Table.create
+      ~headers:
+        [
+          "instance"; "configs"; "complete"; "jobs=1 (s)"; "jobs=4 (s)";
+          "speedup"; "configs/sec (j=4)";
+        ]
+  in
+  let records =
+    List.map
+      (fun (name, graph, idents, mode, cap) ->
+        let time jobs =
+          let t0 = Unix.gettimeofday () in
+          let r = Exp.explore ~mode ~max_configs:cap ~jobs graph ~idents in
+          (r, Unix.gettimeofday () -. t0)
+        in
+        let r1, dt1 = time 1 in
+        let r4, dt4 = time 4 in
+        if r1 <> r4 then
+          failwith (name ^ ": jobs=1 and jobs=4 reports differ (determinism bug)");
+        let speedup = dt1 /. Float.max dt4 1e-9 in
+        let rate = float_of_int r4.configs /. Float.max dt4 1e-9 in
+        Table.add_row table
+          [
+            name;
+            string_of_int r1.configs;
+            string_of_bool r1.complete;
+            Printf.sprintf "%.2f" dt1;
+            Printf.sprintf "%.2f" dt4;
+            Printf.sprintf "%.2fx" speedup;
+            Printf.sprintf "%.0f" rate;
+          ];
+        (name, r1.configs, r1.transitions, r1.complete, dt1, dt4, speedup, rate))
+      (explore_scale_instances ~quick)
+  in
+  Table.print table;
+  records
+
 (* Runs every benchmark, prints the timing table, and returns the raw
    (name, ns/run, r²) estimates for the --json record. *)
 let run_benchmarks () =
@@ -247,6 +325,7 @@ let () =
       outcomes
     end
   in
+  let scale_records = if no_bench then [] else run_explore_scale ~quick in
   let bench_records = if no_bench then [] else run_benchmarks () in
   (match json_path with
   | None -> ()
@@ -257,11 +336,25 @@ let () =
         J.Obj
           [ ("name", J.String name); ("ns_per_run", num ns); ("r_square", num r2) ]
       in
+      let scale_json (name, configs, transitions, complete, dt1, dt4, speedup, rate) =
+        J.Obj
+          [
+            ("instance", J.String name);
+            ("configs", J.Int configs);
+            ("transitions", J.Int transitions);
+            ("complete", J.Bool complete);
+            ("jobs1_seconds", J.Float dt1);
+            ("jobs4_seconds", J.Float dt4);
+            ("speedup_jobs4", J.Float speedup);
+            ("configs_per_sec_jobs4", J.Float rate);
+          ]
+      in
       J.write path
         (J.Obj
            [
              ( "experiments",
                J.List (List.map Asyncolor_experiments.Outcome.to_json outcomes) );
+             ("explore_scale", J.List (List.map scale_json scale_records));
              ("benchmarks", J.List (List.map bench_json bench_records));
            ]);
       Printf.printf "\nwrote JSON report to %s\n" path);

@@ -164,9 +164,13 @@ let jobs_arg =
     & opt int (Asyncolor_util.Domain_pool.default_jobs ())
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
-          "Worker domains for the embarrassingly-parallel subcommands (sweep, \
-           lockhunt, experiments).  Defaults to the recommended domain count; \
-           the output is byte-identical for every value.")
+          "Worker domains for the parallel subcommands (sweep, check, lockhunt, \
+           experiments).  Defaults to the recommended domain count.  \
+           Deterministic-output guarantee: stdout is byte-identical for every \
+           value — the exhaustive explorer merges each BFS level in a \
+           jobs-independent order (so even configuration ids match), and the \
+           other fan-outs merge results by input index.  Timing/rate \
+           diagnostics go to stderr.")
 
 let run_cmd =
   let doc = "run one execution and print the colouring" in
@@ -243,16 +247,32 @@ let check_cmd =
           `All_subsets
       & info [ "mode" ] ~doc:"Schedule space: simultaneous (full model) or interleaved.")
   in
-  let f alg idents mode =
+  let max_configs_arg =
+    Arg.(
+      value
+      & opt int 500_000
+      & info [ "max-configs" ] ~docv:"N"
+          ~doc:
+            "Truncate the exploration after N configurations; the report then \
+             carries complete=false and the worst_case_activations=-1 sentinel.")
+  in
+  let f alg idents mode max_configs jobs =
     let idents = Array.of_list idents in
     let n = Array.length idents in
     if n < 3 then failwith "need at least 3 identifiers";
-    if n > 6 then failwith "exhaustive checking beyond n=6 is infeasible";
+    if n > Sys.int_size - 1 then
+      failwith "too many identifiers for packed activation masks (n <= 62)";
     let graph = Builders.cycle n in
     let go (type s r o) (module P : Asyncolor_kernel.Protocol.S
           with type state = s and type register = r and type output = o) check_outputs =
       let module Exp = Asyncolor_check.Explorer.Make (P) in
-      let r = Exp.explore ~mode graph ~idents ~check_outputs in
+      let t0 = Unix.gettimeofday () in
+      let r = Exp.explore ~mode ~max_configs ~jobs graph ~idents ~check_outputs in
+      let dt = Unix.gettimeofday () -. t0 in
+      Printf.eprintf "explored %d configs in %.3fs (%.0f configs/sec, jobs=%d)\n"
+        r.configs dt
+        (float_of_int r.configs /. Float.max dt 1e-9)
+        jobs;
       Format.printf "%a@." Exp.pp_report r;
       (match r.livelock with
       | Some v ->
@@ -274,7 +294,8 @@ let check_cmd =
     | 3 -> go (module Asyncolor.Algorithm3.P) (coloring_check Color.in_five)
     | n -> failwith (Printf.sprintf "check supports algorithms 1-3, not %d" n)
   in
-  Cmd.v (Cmd.info "check" ~doc) Term.(const f $ alg_arg $ idents_csv $ mode_arg)
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const f $ alg_arg $ idents_csv $ mode_arg $ max_configs_arg $ jobs_arg)
 
 let lockhunt_cmd =
   let doc = "attack every adjacent pair with the isolate-pair schedule (finding F1)" in
@@ -288,7 +309,13 @@ let lockhunt_cmd =
     let hunt (type s r) (module P : Asyncolor_kernel.Protocol.S
           with type state = s and type register = r) =
       let module H = Asyncolor_check.Lockhunt.Make (P) in
+      let t0 = Unix.gettimeofday () in
       let findings = H.hunt ~jobs graph ~idents in
+      let dt = Unix.gettimeofday () -. t0 in
+      Printf.eprintf "%d probes in %.3fs (%.0f probes/sec, jobs=%d)\n"
+        (List.length findings) dt
+        (float_of_int (List.length findings) /. Float.max dt 1e-9)
+        jobs;
       List.iter
         (fun (f : H.finding) ->
           if f.locked then

@@ -1,4 +1,77 @@
 module Vec = Asyncolor_util.Vec
+module Domain_pool = Asyncolor_util.Domain_pool
+
+(* --- activation subsets: list form (reference) and packed form --------- *)
+
+let subsets_of mode procs =
+  match (mode, procs) with
+  | _, [] -> []
+  | `Singletons, procs -> List.map (fun p -> [ p ]) procs
+  | `All_subsets, procs ->
+      let procs = Array.of_list procs in
+      let k = Array.length procs in
+      List.init ((1 lsl k) - 1) (fun m ->
+          let mask = m + 1 in
+          let acc = ref [] in
+          for i = k - 1 downto 0 do
+            if mask land (1 lsl i) <> 0 then acc := procs.(i) :: !acc
+          done;
+          !acc)
+
+let subset_of_mask mask =
+  let acc = ref [] in
+  for p = Sys.int_size - 2 downto 0 do
+    if mask land (1 lsl p) <> 0 then acc := p :: !acc
+  done;
+  !acc
+
+let mask_of_subset subset = List.fold_left (fun m p -> m lor (1 lsl p)) 0 subset
+
+(* The packed counterpart of [subsets_of]: all activation sets drawn from
+   the set bits of [unfinished], as bitmasks, in an order whose unpacked
+   lists are exactly [subsets_of mode (subset_of_mask unfinished)] —
+   element for element.  That order identity is what keeps the packed
+   explorer's reports (parent pointers, adjacency, lasso schedules)
+   byte-identical to the reference implementation. *)
+let masks_of mode unfinished =
+  match mode with
+  | `Singletons ->
+      let k = ref 0 in
+      let m = ref unfinished in
+      while !m <> 0 do
+        incr k;
+        m := !m land (!m - 1)
+      done;
+      let out = Array.make !k 0 in
+      let i = ref 0 in
+      for p = 0 to Sys.int_size - 2 do
+        if unfinished land (1 lsl p) <> 0 then begin
+          out.(!i) <- 1 lsl p;
+          incr i
+        end
+      done;
+      out
+  | `All_subsets ->
+      let positions = Array.make (Sys.int_size - 1) 0 in
+      let k = ref 0 in
+      for p = 0 to Sys.int_size - 2 do
+        if unfinished land (1 lsl p) <> 0 then begin
+          positions.(!k) <- p;
+          incr k
+        end
+      done;
+      let k = !k in
+      if k = 0 then [||]
+      else
+        Array.init
+          ((1 lsl k) - 1)
+          (fun m ->
+            let c = m + 1 in
+            let mask = ref 0 in
+            for i = 0 to k - 1 do
+              if c land (1 lsl i) <> 0 then mask := !mask lor (1 lsl positions.(i))
+            done;
+            !mask)
 
 module Make (P : Asyncolor_kernel.Protocol.S) = struct
   module E = Asyncolor_kernel.Engine.Make (P)
@@ -7,6 +80,13 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
     type t = E.config
 
     let compare = E.config_compare
+  end)
+
+  module Shards = Asyncolor_util.Sharded_tbl.Make (struct
+    type t = E.key
+
+    let equal = E.key_equal
+    let hash = E.key_hash
   end)
 
   type violation = { message : string; schedule : int list list }
@@ -22,44 +102,157 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
     worst_case_activations : int;
   }
 
+  (* The packed configuration graph both builders produce: flat int arrays
+     only — dense ids, CSR adjacency of (mask, vid) pairs, parent pointers
+     as (pred id, activation mask).  The boxed configurations themselves
+     are not part of it; the parallel builder keeps only one frontier of
+     them alive at a time. *)
+  type packed = {
+    total : int;
+    transitions : int;
+    terminal : int;
+    complete : bool;
+    parent_pred : int array;  (* -1 at the root *)
+    parent_mask : int array;
+    adj_off : int array;  (* total + 1 offsets into adj_data *)
+    adj_data : int array;  (* (mask, vid) int pairs *)
+    safety_raw : (string * int) list;  (* discovery order *)
+  }
+
   (* Parent pointers give, for every configuration, one schedule prefix
      that reaches it. *)
-  let schedule_to parent id =
+  let schedule_to pred mask id =
     let rec loop id acc =
-      match parent id with
-      | None -> acc
-      | Some (pred, subset) -> loop pred (subset :: acc)
+      let p = pred.(id) in
+      if p < 0 then acc else loop p (subset_of_mask mask.(id) :: acc)
     in
     loop id []
 
-  let subsets_of mode procs =
-    match (mode, procs) with
-    | _, [] -> []
-    | `Singletons, procs -> List.map (fun p -> [ p ]) procs
-    | `All_subsets, procs ->
-        let procs = Array.of_list procs in
-        let k = Array.length procs in
-        List.init ((1 lsl k) - 1) (fun m ->
-            let mask = m + 1 in
-            let acc = ref [] in
-            for i = k - 1 downto 0 do
-              if mask land (1 lsl i) <> 0 then acc := procs.(i) :: !acc
+  (* Cycle detection by DFS from the root over the packed adjacency; all
+     stored configs are reachable from the root by construction.  The
+     stack is explicit (ids + edge cursors + the masks of the current tree
+     path), so the longest simple path of the configuration graph — which
+     at K7 scale exceeds any native stack — costs heap words, not frames. *)
+  let detect_livelock p =
+    let color = Bytes.make p.total '\000' in
+    let finish = Vec.create ~capacity:1024 ~dummy:0 () in
+    let livelock = ref None in
+    let st_id = Vec.create ~capacity:64 ~dummy:0 () in
+    let st_cur = Vec.create ~capacity:64 ~dummy:0 () in
+    let path = Vec.create ~capacity:64 ~dummy:0 () in
+    Vec.push st_id 0;
+    Vec.push st_cur p.adj_off.(0);
+    Bytes.set color 0 '\001';
+    while Vec.length st_id > 0 && !livelock = None do
+      let depth = Vec.length st_id - 1 in
+      let u = Vec.get st_id depth in
+      let cur = Vec.get st_cur depth in
+      if cur < p.adj_off.(u + 1) then begin
+        Vec.set st_cur depth (cur + 2);
+        let mask = p.adj_data.(cur) and v = p.adj_data.(cur + 1) in
+        match Bytes.get color v with
+        | '\000' ->
+            Bytes.set color v '\001';
+            Vec.push path mask;
+            Vec.push st_id v;
+            Vec.push st_cur p.adj_off.(v)
+        | '\001' ->
+            (* A back edge: the masks on the tree path plus this one are a
+               lasso schedule (prefix + cycle) witnessing the livelock. *)
+            let sched = ref [ subset_of_mask mask ] in
+            for i = Vec.length path - 1 downto 0 do
+              sched := subset_of_mask (Vec.get path i) :: !sched
             done;
-            !acc)
+            livelock :=
+              Some
+                {
+                  message =
+                    Printf.sprintf
+                      "livelock: configuration cycle via activation of working \
+                       processes (cycle re-enters config %d)"
+                      v;
+                  schedule = !sched;
+                }
+        | _ -> ()
+      end
+      else begin
+        ignore (Vec.pop st_id);
+        ignore (Vec.pop st_cur);
+        Bytes.set color u '\002';
+        Vec.push finish u;
+        if Vec.length st_id > 0 then ignore (Vec.pop path)
+      end
+    done;
+    (!livelock, finish)
 
-  let explore ?(max_configs = 500_000) ?(max_violations = 5) ?(mode = `All_subsets)
-      ?(impl = `Hashcons) ?check_outputs ?check_config graph ~idents =
-    let n = Asyncolor_topology.Graph.n graph in
+  (* Exact worst case by longest-path DP over the DAG in topological order
+     (the reversed finish order).  One flat [total * n] int table instead
+     of a row array per configuration. *)
+  let exact_worst ~n p finish =
+    let dp = Array.make (p.total * n) 0 in
+    let best = ref 0 in
+    for i = Vec.length finish - 1 downto 0 do
+      let u = Vec.get finish i in
+      let bu = u * n in
+      let e = ref p.adj_off.(u) in
+      while !e < p.adj_off.(u + 1) do
+        let mask = p.adj_data.(!e) and v = p.adj_data.(!e + 1) in
+        let bv = v * n in
+        for q = 0 to n - 1 do
+          let du = dp.(bu + q) in
+          if mask land (1 lsl q) <> 0 then begin
+            let cand = du + 1 in
+            if cand > dp.(bv + q) then begin
+              dp.(bv + q) <- cand;
+              if cand > !best then best := cand
+            end
+          end
+          else if du > dp.(bv + q) then dp.(bv + q) <- du
+        done;
+        e := !e + 2
+      done
+    done;
+    !best
+
+  let finish_report ~n (p : packed) =
+    let safety =
+      List.map
+        (fun (message, id) ->
+          { message; schedule = schedule_to p.parent_pred p.parent_mask id })
+        p.safety_raw
+    in
+    let livelock, finish = detect_livelock p in
+    let wait_free = livelock = None in
+    let worst =
+      if (not wait_free) || not p.complete then -1 else exact_worst ~n p finish
+    in
+    {
+      configs = p.total;
+      transitions = p.transitions;
+      terminal_configs = p.terminal;
+      complete = p.complete;
+      wait_free;
+      livelock;
+      safety;
+      worst_case_activations = worst;
+    }
+
+  (* --- the seed implementation: sequential BFS, Map interning ---------- *)
+
+  (* Kept verbatim in spirit as the oracle for the differential tests: a
+     FIFO queue over a [Map] keyed by [config_compare], expanding with the
+     list-based [subsets_of] and [E.activate].  Only the output format
+     changed with the data layer (packed adjacency and parent arrays). *)
+  let explore_reference ~max_configs ~max_violations ~mode ~check_outputs
+      ~check_config graph ~idents =
     let engine = E.create graph ~idents in
     let initial = E.snapshot engine in
-    (* The hash-consed store: dense ids into growable arrays.  [store]
-       keeps the boxed configuration only for [E.restore]; identity and
-       lookup go through the packed key. *)
     let store : E.config Vec.t = Vec.create ~capacity:1024 ~dummy:initial () in
-    let parents : (int * int list) option Vec.t =
-      Vec.create ~capacity:1024 ~dummy:None ()
-    in
-    let adj : (int list * int) list Vec.t = Vec.create ~capacity:1024 ~dummy:[] () in
+    let parent_pred = Vec.create ~capacity:1024 ~dummy:(-1) () in
+    let parent_mask = Vec.create ~capacity:1024 ~dummy:0 () in
+    let adj_off = Vec.create ~capacity:1024 ~dummy:0 () in
+    let adj_data = Vec.create ~capacity:4096 ~dummy:0 () in
+    Vec.push adj_off 0;
     let next_id = ref 0 in
     let transitions = ref 0 in
     let terminal = ref 0 in
@@ -70,37 +263,21 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
       let id = !next_id in
       incr next_id;
       Vec.push store config;
-      Vec.push parents None;
+      Vec.push parent_pred (-1);
+      Vec.push parent_mask 0;
       if E.config_unfinished config = [] then incr terminal;
       id
     in
-    let intern =
-      match impl with
-      | `Hashcons ->
-          let ids = E.Key_tbl.create 1024 in
-          fun config ->
-            let key = E.config_key config in
-            (match E.Key_tbl.find_opt ids key with
-            | Some id -> (id, false)
-            | None ->
-                let id = register config in
-                E.Key_tbl.add ids key id;
-                (id, true))
-      | `Reference ->
-          (* the seed implementation: a Map over [config_compare]; kept as
-             the oracle for the differential tests *)
-          let ids = ref CMap.empty in
-          fun config ->
-            (match CMap.find_opt config !ids with
-            | Some id -> (id, false)
-            | None ->
-                let id = register config in
-                ids := CMap.add config id !ids;
-                (id, true))
+    let ids = ref CMap.empty in
+    let intern config =
+      match CMap.find_opt config !ids with
+      | Some id -> (id, false)
+      | None ->
+          let id = register config in
+          ids := CMap.add config id !ids;
+          (id, true)
     in
-    (* Runs the safety predicates; the engine must currently hold [config].
-       Violations are recorded as (message, config id); schedules are
-       attached after exploration, once parent pointers are final. *)
+    (* Runs the safety predicates; the engine must currently hold [config]. *)
     let check id config =
       if !n_safety < max_violations then begin
         let record message =
@@ -127,7 +304,6 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
       let uid = Queue.pop queue in
       let config = Vec.get store uid in
       let unfinished = E.config_unfinished config in
-      let succs = ref [] in
       List.iter
         (fun subset ->
           if !next_id < max_configs then begin
@@ -136,98 +312,363 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
             let succ = E.snapshot engine in
             let vid, fresh = intern succ in
             incr transitions;
-            succs := (subset, vid) :: !succs;
+            Vec.push adj_data (mask_of_subset subset);
+            Vec.push adj_data vid;
             if fresh then begin
-              Vec.set parents vid (Some (uid, subset));
+              Vec.set parent_pred vid uid;
+              Vec.set parent_mask vid (mask_of_subset subset);
               check vid succ;
               Queue.add vid queue
             end
           end
           else complete := false)
         (subsets_of mode unfinished);
-      Vec.set_grow adj uid (List.rev !succs)
+      Vec.push adj_off (Vec.length adj_data)
     done;
-    let total = !next_id in
-    (* attach schedules to recorded safety violations *)
-    let safety =
-      List.rev !safety
-      |> List.map (fun (message, id) ->
-             { message; schedule = schedule_to (Vec.get parents) id })
+    {
+      total = !next_id;
+      transitions = !transitions;
+      terminal = !terminal;
+      complete = !complete;
+      parent_pred = Vec.to_array parent_pred;
+      parent_mask = Vec.to_array parent_mask;
+      adj_off = Vec.to_array adj_off;
+      adj_data = Vec.to_array adj_data;
+      safety_raw = List.rev !safety;
+    }
+
+  (* --- packed sequential BFS: the jobs=1 fast path --------------------- *)
+
+  (* Same discovery order as [explore_reference] (FIFO queue, subsets in
+     [masks_of] order) and same packed output as the level-synchronous
+     builder below, without the per-level batching: configurations are
+     interned through their packed keys in one [Key_tbl], activation sets
+     stay bitmasks end-to-end, and a configuration is dropped as soon as
+     it has been expanded (only keys are retained), which is what keeps
+     multi-million-configuration runs inside memory. *)
+  let explore_seq_packed ~max_configs ~max_violations ~mode ~check_outputs
+      ~check_config graph ~idents =
+    let engine = E.create graph ~idents in
+    let initial = E.snapshot engine in
+    let tbl = E.Key_tbl.create 1024 in
+    let parent_pred = Vec.create ~capacity:1024 ~dummy:(-1) () in
+    let parent_mask = Vec.create ~capacity:1024 ~dummy:0 () in
+    let adj_off = Vec.create ~capacity:1024 ~dummy:0 () in
+    let adj_data = Vec.create ~capacity:4096 ~dummy:0 () in
+    Vec.push adj_off 0;
+    let next_id = ref 0 in
+    let transitions = ref 0 in
+    let terminal = ref 0 in
+    let safety = ref [] in
+    let n_safety = ref 0 in
+    let complete = ref true in
+    let queue = Queue.create () in
+    let register config =
+      let id = !next_id in
+      incr next_id;
+      Vec.push parent_pred (-1);
+      Vec.push parent_mask 0;
+      if E.config_unfinished_mask config = 0 then incr terminal;
+      Queue.add (id, config) queue;
+      id
     in
-    (* Cycle detection by iterative DFS from the root; all stored configs
-       are reachable from the root by construction. *)
-    let color = Array.make total 0 in
-    let livelock = ref None in
-    let finish_order = ref [] in
-    let edges_of id = if id < Vec.length adj then Vec.get adj id else [] in
-    let rec dfs path id =
-      (* [path] is the list of subsets taken from the root, newest first. *)
-      color.(id) <- 1;
-      List.iter
-        (fun (subset, v) ->
-          if !livelock = None then
-            if color.(v) = 0 then dfs (subset :: path) v
-            else if color.(v) = 1 then
-              livelock :=
-                Some
-                  {
-                    message =
-                      Printf.sprintf
-                        "livelock: configuration cycle via activation of working \
-                         processes (cycle re-enters config %d)"
-                        v;
-                    schedule = List.rev (subset :: path);
-                  })
-        (edges_of id);
-      color.(id) <- 2;
-      finish_order := id :: !finish_order
-    in
-    (* The recursion depth equals the longest simple path; for the small
-       systems the explorer targets this fits the stack. *)
-    dfs [] root_id;
-    let wait_free = !livelock = None in
-    (* Exact worst case by longest-path DP over the DAG in topological
-       order (the reversed finish order). *)
-    let worst =
-      if (not wait_free) || not !complete then -1
-      else begin
-        let dp = Array.make total [||] in
-        dp.(root_id) <- Array.make n 0;
-        let best = ref 0 in
-        List.iter
-          (fun uid ->
-            let du = dp.(uid) in
-            if Array.length du > 0 then
-              List.iter
-                (fun (subset, vid) ->
-                  if Array.length dp.(vid) = 0 then dp.(vid) <- Array.make n 0;
-                  let dv = dp.(vid) in
-                  List.iter
-                    (fun p ->
-                      let cand = du.(p) + 1 in
-                      if cand > dv.(p) then begin
-                        dv.(p) <- cand;
-                        if cand > !best then best := cand
-                      end)
-                    subset;
-                  Array.iteri
-                    (fun p x -> if x > dv.(p) then dv.(p) <- x)
-                    du)
-                (edges_of uid))
-          !finish_order;
-        !best
+    (* The engine must currently hold [config] (seed contract). *)
+    let check id config =
+      if !n_safety < max_violations then begin
+        let record message =
+          incr n_safety;
+          safety := (message, id) :: !safety
+        in
+        (match check_outputs with
+        | None -> ()
+        | Some f -> (
+            match f (E.config_outputs config) with
+            | None -> ()
+            | Some msg -> record msg));
+        match check_config with
+        | None -> ()
+        | Some f -> (
+            match f engine with None -> () | Some msg -> record msg)
       end
     in
+    let root_id = register initial in
+    E.Key_tbl.add tbl (E.config_key initial) root_id;
+    check root_id initial;
+    while not (Queue.is_empty queue) do
+      let uid, config = Queue.pop queue in
+      let um = E.config_unfinished_mask config in
+      let masks = if um = 0 then [||] else masks_of mode um in
+      Array.iter
+        (fun mask ->
+          if !next_id < max_configs then begin
+            E.restore engine config;
+            E.activate_mask engine mask;
+            let succ = E.snapshot engine in
+            let key = E.config_key succ in
+            incr transitions;
+            let vid, fresh =
+              match E.Key_tbl.find_opt tbl key with
+              | Some id -> (id, false)
+              | None ->
+                  let id = register succ in
+                  E.Key_tbl.add tbl key id;
+                  (id, true)
+            in
+            Vec.push adj_data mask;
+            Vec.push adj_data vid;
+            if fresh then begin
+              Vec.set parent_pred vid uid;
+              Vec.set parent_mask vid mask;
+              check vid succ
+            end
+          end
+          else complete := false)
+        masks;
+      Vec.push adj_off (Vec.length adj_data)
+    done;
     {
-      configs = total;
+      total = !next_id;
       transitions = !transitions;
-      terminal_configs = !terminal;
+      terminal = !terminal;
       complete = !complete;
-      wait_free;
-      livelock = !livelock;
-      safety;
-      worst_case_activations = worst;
+      parent_pred = Vec.to_array parent_pred;
+      parent_mask = Vec.to_array parent_mask;
+      adj_off = Vec.to_array adj_off;
+      adj_data = Vec.to_array adj_data;
+      safety_raw = List.rev !safety;
     }
+
+  (* --- level-synchronous parallel BFS with sharded interning ----------- *)
+
+  (* One BFS level at a time, in three phases:
+
+     A. {e Expansion} (parallel by frontier slice).  Each worker owns a
+        private engine and restores/activates/snapshots every (config,
+        activation-mask) pair of its slice, emitting candidate successors
+        with their packed keys.  No shared mutable state is touched.
+
+     B. {e Interning lookups} (parallel by shard).  The intern table is
+        sharded by key hash ([Sharded_tbl]); each worker scans the level's
+        candidates in global order, handles only the keys its shard owns,
+        and classifies every candidate as already-interned, duplicate of an
+        earlier candidate of this level, or fresh — reading the main table
+        and a level-local pending table.  Shards are disjoint by
+        construction, so phase B writes nothing any other worker reads.
+
+     C. {e Merge} (sequential, cheap).  Walk the candidates once in global
+        order — frontier slot, then activation-subset order, i.e. exactly
+        the order in which the sequential BFS performs its expansions —
+        assigning dense ids to fresh configurations, recording adjacency
+        and parent pointers, running safety checks and applying the
+        [max_configs] cap.  Because ids, parents, adjacency, violation
+        order and the cap all derive from this jobs-independent order, the
+        resulting report is byte-identical for every [jobs] value and to
+        the reference implementation.  Phases A and B do all the engine
+        and hashing work; phase C only moves integers. *)
+  let explore_parallel ~jobs ~max_configs ~max_violations ~mode ~check_outputs
+      ~check_config graph ~idents =
+    let jobs = max 1 jobs in
+    let engines = Array.init jobs (fun _ -> E.create graph ~idents) in
+    let initial = E.snapshot engines.(0) in
+    let tbl = Shards.create ~shards:jobs 1024 in
+    let nshards = Shards.shards tbl in
+    let parent_pred = Vec.create ~capacity:1024 ~dummy:(-1) () in
+    let parent_mask = Vec.create ~capacity:1024 ~dummy:0 () in
+    let adj_off = Vec.create ~capacity:1024 ~dummy:0 () in
+    let adj_data = Vec.create ~capacity:4096 ~dummy:0 () in
+    Vec.push adj_off 0;
+    let next_id = ref 0 in
+    let transitions = ref 0 in
+    let terminal = ref 0 in
+    let safety = ref [] in
+    let n_safety = ref 0 in
+    let complete = ref true in
+    let next_ids = Vec.create ~capacity:1024 ~dummy:0 () in
+    let next_cfgs = Vec.create ~capacity:1024 ~dummy:initial () in
+    let register config =
+      let id = !next_id in
+      incr next_id;
+      Vec.push parent_pred (-1);
+      Vec.push parent_mask 0;
+      if E.config_unfinished_mask config = 0 then incr terminal;
+      Vec.push next_ids id;
+      Vec.push next_cfgs config;
+      id
+    in
+    let check id config =
+      if !n_safety < max_violations then begin
+        let record message =
+          incr n_safety;
+          safety := (message, id) :: !safety
+        in
+        (match check_outputs with
+        | None -> ()
+        | Some f -> (
+            match f (E.config_outputs config) with
+            | None -> ()
+            | Some msg -> record msg));
+        match check_config with
+        | None -> ()
+        | Some f ->
+            E.restore engines.(0) config;
+            (match f engines.(0) with None -> () | Some msg -> record msg)
+      end
+    in
+    let root_key = E.config_key initial in
+    let root_id = register initial in
+    Shards.add tbl root_key root_id;
+    check root_id initial;
+    Domain_pool.with_pool ~jobs (fun pool ->
+        let frontier_ids = ref (Vec.to_array next_ids) in
+        let frontier_cfgs = ref (Vec.to_array next_cfgs) in
+        Vec.clear next_ids;
+        Vec.clear next_cfgs;
+        while Array.length !frontier_ids > 0 do
+          let fids = !frontier_ids and fcfgs = !frontier_cfgs in
+          let flen = Array.length fids in
+          if !next_id >= max_configs then begin
+            (* The cap is already hit: no expansion can happen, but every
+               pending configuration that still has working processes marks
+               the exploration incomplete — exactly the sequential path. *)
+            Array.iter
+              (fun c -> if E.config_unfinished_mask c <> 0 then complete := false)
+              fcfgs;
+            for _ = 1 to flen do
+              Vec.push adj_off (Vec.length adj_data)
+            done;
+            frontier_ids := [||];
+            frontier_cfgs := [||]
+          end
+          else begin
+            (* phase A *)
+            let slices =
+              Array.init jobs (fun s -> (s, flen * s / jobs, flen * (s + 1) / jobs))
+            in
+            let expanded =
+              Domain_pool.map pool
+                (fun (s, lo, hi) ->
+                  let eng = engines.(s) in
+                  Array.init (hi - lo) (fun i ->
+                      let config = fcfgs.(lo + i) in
+                      let um = E.config_unfinished_mask config in
+                      if um = 0 then [||]
+                      else
+                        Array.map
+                          (fun mask ->
+                            E.restore eng config;
+                            E.activate_mask eng mask;
+                            let succ = E.snapshot eng in
+                            (mask, E.config_key succ, succ))
+                          (masks_of mode um)))
+                slices
+            in
+            (* flatten into global candidate order *)
+            let ncands =
+              Array.fold_left
+                (fun acc slice ->
+                  Array.fold_left (fun a c -> a + Array.length c) acc slice)
+                0 expanded
+            in
+            let cand_off = Array.make (flen + 1) 0 in
+            let cands = Array.make (max 1 ncands) (0, root_key, initial) in
+            let k = ref 0 in
+            Array.iteri
+              (fun s per_cfg ->
+                let _, lo, _ = slices.(s) in
+                Array.iteri
+                  (fun i arr ->
+                    cand_off.(lo + i) <- !k;
+                    Array.iter
+                      (fun c ->
+                        cands.(!k) <- c;
+                        incr k)
+                      arr)
+                  per_cfg)
+              expanded;
+            cand_off.(flen) <- !k;
+            (* phase B *)
+            let verdict = Array.make (max 1 ncands) (-1) in
+            ignore
+              (Domain_pool.map pool
+                 (fun shard ->
+                   let pending = E.Key_tbl.create 64 in
+                   for j = 0 to ncands - 1 do
+                     let _, key, _ = cands.(j) in
+                     if Shards.shard_of tbl key = shard then
+                       match Shards.find_opt_in tbl ~shard key with
+                       | Some id -> verdict.(j) <- -id - 2
+                       | None -> (
+                           match E.Key_tbl.find_opt pending key with
+                           | Some j' -> verdict.(j) <- j'
+                           | None -> E.Key_tbl.add pending key j)
+                   done)
+                 (Array.init nshards Fun.id));
+            (* phase C *)
+            let resolved = Array.make (max 1 ncands) (-1) in
+            for f = 0 to flen - 1 do
+              let uid = fids.(f) in
+              for j = cand_off.(f) to cand_off.(f + 1) - 1 do
+                if !next_id >= max_configs then complete := false
+                else begin
+                  let mask, key, config = cands.(j) in
+                  incr transitions;
+                  let vid =
+                    let v = verdict.(j) in
+                    if v <= -2 then -v - 2
+                    else if v >= 0 then resolved.(v)
+                    else begin
+                      let id = register config in
+                      Shards.add tbl key id;
+                      Vec.set parent_pred id uid;
+                      Vec.set parent_mask id mask;
+                      check id config;
+                      resolved.(j) <- id;
+                      id
+                    end
+                  in
+                  Vec.push adj_data mask;
+                  Vec.push adj_data vid
+                end
+              done;
+              Vec.push adj_off (Vec.length adj_data)
+            done;
+            frontier_ids := Vec.to_array next_ids;
+            frontier_cfgs := Vec.to_array next_cfgs;
+            Vec.clear next_ids;
+            Vec.clear next_cfgs
+          end
+        done);
+    {
+      total = !next_id;
+      transitions = !transitions;
+      terminal = !terminal;
+      complete = !complete;
+      parent_pred = Vec.to_array parent_pred;
+      parent_mask = Vec.to_array parent_mask;
+      adj_off = Vec.to_array adj_off;
+      adj_data = Vec.to_array adj_data;
+      safety_raw = List.rev !safety;
+    }
+
+  let explore ?(max_configs = 500_000) ?(max_violations = 5)
+      ?(mode = `All_subsets) ?(impl = `Hashcons) ?(jobs = 1) ?check_outputs
+      ?check_config graph ~idents =
+    let n = Asyncolor_topology.Graph.n graph in
+    if n > Sys.int_size - 1 then
+      invalid_arg "Explorer.explore: packed activation masks need n <= 62";
+    let packed =
+      match impl with
+      | `Reference ->
+          explore_reference ~max_configs ~max_violations ~mode ~check_outputs
+            ~check_config graph ~idents
+      | `Hashcons when jobs <= 1 ->
+          explore_seq_packed ~max_configs ~max_violations ~mode ~check_outputs
+            ~check_config graph ~idents
+      | `Hashcons ->
+          explore_parallel ~jobs ~max_configs ~max_violations ~mode
+            ~check_outputs ~check_config graph ~idents
+    in
+    finish_report ~n packed
 
   let pp_report ppf r =
     Format.fprintf ppf

@@ -23,7 +23,37 @@
     - {b Worst case}.  When the graph is acyclic, a longest-path dynamic
       program yields the exact worst-case number of activations of any
       single process over {e all} schedules — the paper's round
-      complexity, computed exactly rather than sampled. *)
+      complexity, computed exactly rather than sampled.
+
+    {1 Data layer}
+
+    Activation subsets are bitmasks end-to-end (bit [p] = process [p]):
+    enumeration ({!masks_of}), engine steps
+    ({!Asyncolor_kernel.Engine.Make.activate_mask}), the adjacency of the
+    configuration graph (flat int arrays in CSR layout) and the
+    longest-path table (one flat [n * configs] int array).  Lists of
+    process indices only appear at the API boundary, in
+    {!Make.violation.schedule}.  This caps the explorer at
+    [n <= Sys.int_size - 1] processes — far beyond exhaustive reach. *)
+
+val subsets_of : [ `All_subsets | `Singletons ] -> int list -> int list list
+(** [subsets_of mode procs] enumerates the activation subsets of [procs]:
+    every nonempty subset for [`All_subsets] ([2^k - 1] of them), the
+    singletons for [`Singletons].  The enumeration order is part of the
+    explorer's determinism contract (it fixes BFS discovery order and
+    hence configuration ids). *)
+
+val masks_of : [ `All_subsets | `Singletons ] -> int -> int array
+(** [masks_of mode unfinished] is the packed counterpart of
+    {!subsets_of}: the same subsets, of the set bits of [unfinished], as
+    bitmasks, in the same order — [Array.to_list (Array.map subset_of_mask
+    (masks_of mode m))] equals [subsets_of mode (subset_of_mask m)]. *)
+
+val subset_of_mask : int -> int list
+(** Ascending list of the set bits of a mask. *)
+
+val mask_of_subset : int list -> int
+(** Bitmask with the listed bits set. *)
 
 module Make (P : Asyncolor_kernel.Protocol.S) : sig
   module E : module type of Asyncolor_kernel.Engine.Make (P)
@@ -41,7 +71,14 @@ module Make (P : Asyncolor_kernel.Protocol.S) : sig
     wait_free : bool;  (** graph acyclic (meaningful when [complete]) *)
     livelock : violation option;  (** a lasso schedule witnessing non-wait-freedom *)
     safety : violation list;  (** safety violations, oldest first (capped) *)
-    worst_case_activations : int;  (** exact worst-case rounds; [-1] when cyclic or incomplete *)
+    worst_case_activations : int;
+        (** Exact worst-case rounds over all schedules.  The sentinel value
+            [-1] means "no meaningful bound": either the graph is cyclic
+            (worst case is unbounded), or the exploration was truncated at
+            [max_configs] ([complete = false]) so the longest path of the
+            explored subgraph would silently under-report the true worst
+            case.  Always check {!complete} (and {!wait_free}) before
+            quoting this number. *)
   }
 
   val explore :
@@ -49,6 +86,7 @@ module Make (P : Asyncolor_kernel.Protocol.S) : sig
     ?max_violations:int ->
     ?mode:[ `All_subsets | `Singletons ] ->
     ?impl:[ `Hashcons | `Reference ] ->
+    ?jobs:int ->
     ?check_outputs:(P.output option array -> string option) ->
     ?check_config:(E.t -> string option) ->
     Asyncolor_topology.Graph.t ->
@@ -67,14 +105,25 @@ module Make (P : Asyncolor_kernel.Protocol.S) : sig
       EXPERIMENTS.md.  Defaults: [max_configs = 500_000],
       [max_violations = 5].
 
-      [impl] selects how configurations are interned: [`Hashcons]
-      (default) through the packed integer keys of
-      {!Asyncolor_kernel.Engine.Make.config_key} in a hash table;
-      [`Reference] through a [Map] over [config_compare] — the seed
-      implementation, kept as the oracle for the differential tests.
-      Both produce identical reports (schedules included); [`Hashcons]
-      avoids the polymorphic-comparison interning bottleneck and is what
-      lets exhaustive checks reach one cycle size further. *)
+      [impl] selects the exploration engine: [`Hashcons] (default) is the
+      packed, parallel level-synchronous BFS — configurations interned by
+      the integer keys of {!Asyncolor_kernel.Engine.Make.config_key} in a
+      key-sharded table, adjacency in flat int arrays; [`Reference] is the
+      seed implementation (sequential FIFO BFS over a [Map] keyed by
+      [config_compare]), kept as the oracle for the differential tests.
+
+      [jobs] (default 1, [`Hashcons] only) sets the number of domains
+      expanding each BFS level.  {b Deterministic-output guarantee}: the
+      report — configuration ids embedded in messages, schedules,
+      violation order, every counter — is byte-identical for every [jobs]
+      value and identical to [`Reference]'s, because dense ids are
+      assigned in a per-level merge that walks candidates in the
+      jobs-independent order (frontier position, then activation-subset
+      order), which is exactly sequential BFS discovery order.
+
+      @raise Invalid_argument when the graph has more than
+      [Sys.int_size - 1] nodes (activation masks could not name every
+      process). *)
 
   val pp_report : Format.formatter -> report -> unit
 end

@@ -28,10 +28,14 @@ module Make (P : Asyncolor_kernel.Protocol.S) : sig
     Asyncolor_topology.Graph.t ->
     idents:int array ->
     finding list
-  (** Attack every edge; findings in edge order.  Each probe runs its own
-      engine, so with [jobs > 1] the edges fan out across that many
-      domains ({!Asyncolor_util.Domain_pool}); the findings come back in
-      edge order regardless.  [jobs] defaults to [1] (sequential). *)
+  (** Attack every edge; findings in edge order.  The edge list is cut
+      into [jobs] contiguous slices, each owning one engine that is
+      rewound (snapshot/restore) between probes rather than re-created
+      per edge; with [jobs > 1] the slices fan out across that many
+      domains ({!Asyncolor_util.Domain_pool}).  Probes share no mutable
+      state, so the findings are identical for every [jobs] value and
+      come back in edge order regardless.  [jobs] defaults to [1]
+      (sequential, no domain spawned). *)
 
   val locked : finding list -> (int * int) list
   (** The pairs that locked. *)

@@ -69,44 +69,90 @@ module Make (P : Protocol.S) = struct
 
   let all_returned t = Array.for_all Status.is_returned t.status
   let outputs t = Array.map Status.output t.status
+
+  let check_mask_width t what =
+    if n t > Sys.int_size - 1 then
+      invalid_arg
+        (Printf.sprintf "Engine.%s: bitmask activation needs n <= %d" what
+           (Sys.int_size - 1))
+
+  let unfinished_mask t =
+    check_mask_width t "unfinished_mask";
+    let m = ref 0 in
+    for p = 0 to n t - 1 do
+      if not (Status.is_returned t.status.(p)) then m := !m lor (1 lsl p)
+    done;
+    !m
   let set_monitor t f = t.monitor <- Some f
   let trace t = List.rev t.trace
 
   (* One time step.  Phase 1: all activated processes wake (if needed) and
      write; phase 2: all of them read and update.  This matches the paper's
      simultaneous-round semantics. *)
+
+  let wake_and_write t p =
+    (match t.states.(p) with
+    | None ->
+        t.states.(p) <- Some (P.init ~ident:t.idents.(p));
+        t.status.(p) <- Status.Working
+    | Some _ -> ());
+    t.public.(p) <- Some (P.publish (Option.get t.states.(p)))
+
+  let read_and_update t p returned =
+    t.activations.(p) <- t.activations.(p) + 1;
+    let nbrs = Graph.neighbours t.graph p in
+    let view = Array.map (fun q -> t.public.(q)) nbrs in
+    match P.transition (Option.get t.states.(p)) ~view with
+    | Step.Continue s -> t.states.(p) <- Some s
+    | Step.Return o ->
+        t.status.(p) <- Status.Returned o;
+        t.unfinished_cache <- None;
+        returned := (p, o) :: !returned
+
+  let finish_step t set returned =
+    if t.record_trace then
+      t.trace <-
+        { time = t.time; activated = set; returned = List.rev !returned } :: t.trace;
+    match t.monitor with None -> () | Some f -> f t
+
   let activate t set =
     t.time <- t.time + 1;
     let set = List.sort_uniq compare set in
     let set = List.filter (fun p -> not (Status.is_returned t.status.(p))) set in
-    (* Phase 1: wake and write. *)
-    List.iter
-      (fun p ->
-        (match t.states.(p) with
-        | None ->
-            t.states.(p) <- Some (P.init ~ident:t.idents.(p));
-            t.status.(p) <- Status.Working
-        | Some _ -> ());
-        t.public.(p) <-
-          Some (P.publish (Option.get t.states.(p))))
-      set;
-    (* Phase 2: read and update. *)
+    List.iter (fun p -> wake_and_write t p) set;
     let returned = ref [] in
-    List.iter
-      (fun p ->
-        t.activations.(p) <- t.activations.(p) + 1;
-        let nbrs = Graph.neighbours t.graph p in
-        let view = Array.map (fun q -> t.public.(q)) nbrs in
-        match P.transition (Option.get t.states.(p)) ~view with
-        | Step.Continue s -> t.states.(p) <- Some s
-        | Step.Return o ->
-            t.status.(p) <- Status.Returned o;
-            t.unfinished_cache <- None;
-            returned := (p, o) :: !returned)
-      set;
-    if t.record_trace then
-      t.trace <- { time = t.time; activated = set; returned = List.rev !returned } :: t.trace;
-    match t.monitor with None -> () | Some f -> f t
+    List.iter (fun p -> read_and_update t p returned) set;
+    finish_step t set returned
+
+  (* Same step, set given as a bitmask over process indices.  Returned
+     processes drop out exactly as in [activate]; bits are visited in
+     ascending index order, matching the sorted lists [activate] builds —
+     the two entry points are observably identical on equal sets.  The
+     mask path allocates nothing per step unless a trace is recorded. *)
+  let activate_mask t mask =
+    check_mask_width t "activate_mask";
+    t.time <- t.time + 1;
+    let n = n t in
+    let live = ref 0 in
+    for p = 0 to n - 1 do
+      if mask land (1 lsl p) <> 0 && not (Status.is_returned t.status.(p)) then
+        live := !live lor (1 lsl p)
+    done;
+    let live = !live in
+    for p = 0 to n - 1 do
+      if live land (1 lsl p) <> 0 then wake_and_write t p
+    done;
+    let returned = ref [] in
+    for p = 0 to n - 1 do
+      if live land (1 lsl p) <> 0 then read_and_update t p returned
+    done;
+    if t.record_trace || Option.is_some t.monitor then begin
+      let set = ref [] in
+      for p = n - 1 downto 0 do
+        if live land (1 lsl p) <> 0 then set := p :: !set
+      done;
+      finish_step t !set returned
+    end
 
   let pp_spacetime ppf t =
     let n = n t in
@@ -254,6 +300,16 @@ module Make (P : Protocol.S) = struct
       if not (Status.is_returned c.c_status.(p)) then acc := p :: !acc
     done;
     !acc
+
+  let config_unfinished_mask c =
+    let n = Array.length c.c_status in
+    if n > Sys.int_size - 1 then
+      invalid_arg "Engine.config_unfinished_mask: needs n <= word size - 1";
+    let m = ref 0 in
+    for p = 0 to n - 1 do
+      if not (Status.is_returned c.c_status.(p)) then m := !m lor (1 lsl p)
+    done;
+    !m
 
   let config_outputs c = Array.map Status.output c.c_status
 

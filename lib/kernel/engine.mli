@@ -58,6 +58,20 @@ module Make (P : Protocol.S) : sig
       processes in [set] wake up (their state becomes [init ~ident]) and
       take their first round within this very step. *)
 
+  val activate_mask : t -> int -> unit
+  (** [activate_mask t mask] is [activate t set] for the set whose members
+      are the set bits of [mask] (bit [p] = process [p]) — the packed
+      entry point of the run-core layer.  Observably identical to the
+      list version on equal sets (returned processes drop out, ascending
+      activation order) but allocation-free per step unless a trace is
+      recorded, which is what the exhaustive explorer's hot loop needs.
+      @raise Invalid_argument when [n t > Sys.int_size - 1] (the mask
+      cannot name every process). *)
+
+  val unfinished_mask : t -> int
+  (** {!unfinished} as a bitmask.  @raise Invalid_argument when
+      [n t > Sys.int_size - 1]. *)
+
   val set_monitor : t -> (t -> unit) -> unit
   (** Install a callback invoked after every [activate]; used to assert
       execution invariants (e.g. Lemma 4.5) at every time step. *)
@@ -108,6 +122,11 @@ module Make (P : Protocol.S) : sig
       in this repository. *)
 
   val config_unfinished : config -> int list
+
+  val config_unfinished_mask : config -> int
+  (** {!config_unfinished} as a bitmask (bit [p] = process [p]).
+      @raise Invalid_argument when the mask cannot name every process. *)
+
   val config_outputs : config -> P.output option array
 
   (** {1 Packed configuration keys}

@@ -1,0 +1,37 @@
+(** A hash table split into independent shards by key hash — the
+    sharded-interning substrate of the parallel explorer.
+
+    Shard ownership is a pure function of the key ([hash k land (shards-1)],
+    with the shard count rounded up to a power of two), so the partition of
+    the key space is fixed at creation and never depends on scheduling.  A
+    group of workers that (a) agrees on the shard count and (b) lets each
+    worker touch only its own shards needs no locks at all: two workers
+    never access the same underlying [Hashtbl].
+
+    The plain {!find_opt}/{!add} entry points route to the owning shard and
+    are safe for single-domain use; the [_in] variants take the shard
+    explicitly for the partitioned-parallel pattern (the caller computed
+    {!shard_of} already and is responsible for staying inside its shard). *)
+
+module Make (H : Hashtbl.HashedType) : sig
+  type 'a t
+
+  val create : shards:int -> int -> 'a t
+  (** [create ~shards n] makes a table of [shards] (rounded up to a power
+      of two, at least 1) shards, each with initial capacity [n]. *)
+
+  val shards : 'a t -> int
+  val shard_of : 'a t -> H.t -> int
+
+  val find_opt : 'a t -> H.t -> 'a option
+  val add : 'a t -> H.t -> 'a -> unit
+
+  val find_opt_in : 'a t -> shard:int -> H.t -> 'a option
+  (** [find_opt_in t ~shard k] looks [k] up in [shard] directly.  Only
+      meaningful when [shard = shard_of t k]. *)
+
+  val add_in : 'a t -> shard:int -> H.t -> 'a -> unit
+
+  val length : 'a t -> int
+  (** Total bindings over all shards. *)
+end

@@ -38,6 +38,13 @@ let set_grow t i x =
   end;
   t.data.(i) <- x
 
+let pop t =
+  if t.len = 0 then invalid_arg "Vec.pop: empty";
+  t.len <- t.len - 1;
+  let x = t.data.(t.len) in
+  t.data.(t.len) <- t.dummy;
+  x
+
 let clear t = t.len <- 0
 let to_array t = Array.sub t.data 0 t.len
 

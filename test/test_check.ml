@@ -133,6 +133,33 @@ let test_max_configs_truncation () =
   check Alcotest.bool "capped" true (r.configs <= 10);
   check Alcotest.int "worst undefined when incomplete" (-1) r.worst_case_activations
 
+let test_deep_path_livelock_dfs () =
+  (* regression for the explicit-stack cycle-detection DFS: one Count
+     process with a huge activation budget makes the configuration graph a
+     single path of 200k nodes — native recursion would overflow the stack
+     at this depth, the explicit stack must not *)
+  let module Deep = Count (struct
+    let k = 200_000
+  end) in
+  let module E = Explorer.Make (Deep) in
+  let r = E.explore ~max_configs:300_000 (Builders.path 1) ~idents:[| 7 |] in
+  check Alcotest.bool "complete" true r.complete;
+  check Alcotest.bool "wait-free" true r.wait_free;
+  check Alcotest.int "configs = k+1" 200_001 r.configs;
+  check Alcotest.int "exact worst = k" 200_000 r.worst_case_activations
+
+let test_truncation_sentinel_both_impls () =
+  (* the -1 sentinel contract of report.worst_case_activations: a tiny cap
+     must yield complete = false and the sentinel, on both implementations
+     and for any jobs value *)
+  let module E = Explorer.Make (Three) in
+  List.iter
+    (fun (impl, jobs) ->
+      let r = E.explore ~impl ~jobs ~max_configs:5 g3 ~idents:[| 0; 1; 2 |] in
+      check Alcotest.bool "truncated" false r.complete;
+      check Alcotest.int "sentinel worst case" (-1) r.worst_case_activations)
+    [ (`Reference, 1); (`Hashcons, 1); (`Hashcons, 4) ]
+
 let test_max_violations_cap () =
   let module E = Explorer.Make (Asyncolor_shm.Mis.Greedy.P) in
   let check_outputs outs =
@@ -141,22 +168,67 @@ let test_max_violations_cap () =
   let r = E.explore ~max_violations:2 g3 ~idents:[| 0; 1; 2 |] ~check_outputs in
   check Alcotest.bool "capped at 2" true (List.length r.safety <= 2)
 
-(* --- differential: hash-consed interning vs the reference Map ---------- *)
+(* --- packed activation-subset enumeration ------------------------------ *)
 
-(* The packed-key explorer must be report-identical (counts, verdicts,
-   witness schedules — everything) to the seed [`Reference] implementation
-   on the exhaustive instances the paper claims rest on (E6, E13, E17). *)
+let qtest t = QCheck_alcotest.to_alcotest t
+
+(* A working-process mask with at most 8 set bits, anywhere in the word. *)
+let arb_unfinished_mask =
+  let gen =
+    QCheck.Gen.(
+      int_range 0 8 >>= fun k ->
+      let rec pick acc = function
+        | 0 -> return acc
+        | left ->
+            int_range 0 (Sys.int_size - 2) >>= fun p ->
+            if acc land (1 lsl p) <> 0 then pick acc left
+            else pick (acc lor (1 lsl p)) (left - 1)
+      in
+      pick 0 k)
+  in
+  QCheck.make ~print:(Printf.sprintf "0x%x") gen
+
+(* [masks_of] must enumerate exactly the subsets [subsets_of] does — not
+   only as a set (what correctness needs) but in the same order (what the
+   determinism guarantee needs: the order fixes BFS discovery and ids). *)
+let prop_masks_match_subsets mode m =
+  let procs = Explorer.subset_of_mask m in
+  let lists = Explorer.subsets_of mode procs in
+  let masks = Array.to_list (Explorer.masks_of mode m) in
+  List.map Explorer.mask_of_subset lists = masks
+  && List.map Explorer.subset_of_mask masks = lists
+
+let test_masks_all_subsets =
+  QCheck.Test.make ~name:"masks_of = subsets_of (all-subsets, k <= 8)"
+    ~count:300 arb_unfinished_mask (prop_masks_match_subsets `All_subsets)
+
+let test_masks_singletons =
+  QCheck.Test.make ~name:"masks_of = subsets_of (singletons, k <= 8)"
+    ~count:300 arb_unfinished_mask (prop_masks_match_subsets `Singletons)
+
+(* --- differential: packed parallel BFS vs the reference Map ------------ *)
+
+(* The packed parallel explorer must be report-identical (counts, verdicts,
+   witness schedules, the config ids embedded in livelock messages —
+   everything) to the seed [`Reference] implementation on the exhaustive
+   instances the paper claims rest on (E6, E13, E16, E17), and identical to
+   itself for every [jobs] value: the deterministic-output guarantee of the
+   level-synchronous merge. *)
 let diff_report (type s r o)
     (module P : Asyncolor_kernel.Protocol.S
       with type state = s and type register = r and type output = o)
     ?max_configs ?check_outputs ~mode graph ~idents () =
   let module E = Explorer.Make (P) in
-  let explore impl =
-    E.explore ?max_configs ?check_outputs ~mode ~impl graph ~idents
+  let explore ?jobs impl =
+    E.explore ?max_configs ?check_outputs ~mode ~impl ?jobs graph ~idents
   in
   let report = Alcotest.testable E.pp_report ( = ) in
-  check report "hash-consed report = reference report" (explore `Reference)
-    (explore `Hashcons)
+  let reference = explore `Reference in
+  check report "hash-consed jobs=1 = reference" reference (explore `Hashcons);
+  check report "hash-consed jobs=2 = reference" reference
+    (explore ~jobs:2 `Hashcons);
+  check report "hash-consed jobs=4 = reference" reference
+    (explore ~jobs:4 `Hashcons)
 
 let test_differential_alg2_c3 () =
   (* the E6/E13 instances: every C3 identifier assignment the experiments
@@ -183,6 +255,24 @@ let test_differential_alg3_alg2s () =
     ~idents:[| 12; 47; 30 |] ();
   diff_report (module Asyncolor.Algorithm2s.P) ~mode:`All_subsets (Builders.cycle 4)
     ~idents:[| 0; 1; 2; 3 |] ()
+
+let test_differential_e16_k4 () =
+  (* the E16 open-problem instance family: Algorithm 2 on a clique under
+     interleaved schedules, with the full 2Δ+1 palette/properness predicate
+     riding along as a safety check *)
+  let k4 = Builders.complete 4 in
+  let delta = Asyncolor_topology.Graph.max_degree k4 in
+  let check_outputs outs =
+    let v =
+      Asyncolor.Checker.check ~equal:Int.equal
+        ~in_palette:(Asyncolor.Algorithm2.in_general_palette ~max_degree:delta)
+        k4 outs
+    in
+    if Asyncolor.Checker.ok v then None
+    else Some (Format.asprintf "%a" Asyncolor.Checker.pp v)
+  in
+  diff_report (module Asyncolor.Algorithm2.P) ~check_outputs ~mode:`Singletons k4
+    ~idents:[| 3; 7; 1; 9 |] ()
 
 let test_differential_safety_and_truncation () =
   (* safety-violation schedules and the max_configs cut-off must agree too *)
@@ -306,14 +396,21 @@ let () =
             test_safety_violation_reported_with_schedule;
           Alcotest.test_case "max_configs truncation" `Quick
             test_max_configs_truncation;
+          Alcotest.test_case "truncation sentinel (both impls)" `Quick
+            test_truncation_sentinel_both_impls;
+          Alcotest.test_case "deep-path explicit-stack DFS" `Quick
+            test_deep_path_livelock_dfs;
           Alcotest.test_case "max_violations cap" `Quick test_max_violations_cap;
         ] );
+      ( "packed-enumeration",
+        [ qtest test_masks_all_subsets; qtest test_masks_singletons ] );
       ( "differential",
         [
           Alcotest.test_case "alg2 on C3 (E6/E13)" `Quick test_differential_alg2_c3;
           Alcotest.test_case "alg1/alg2 on C4" `Quick test_differential_c4;
           Alcotest.test_case "alg3 & alg2s (E6/E17)" `Quick
             test_differential_alg3_alg2s;
+          Alcotest.test_case "alg2 on K4 (E16)" `Quick test_differential_e16_k4;
           Alcotest.test_case "safety schedules & truncation" `Quick
             test_differential_safety_and_truncation;
         ] );
