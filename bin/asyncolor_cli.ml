@@ -15,6 +15,9 @@ module Idents = Asyncolor_workload.Idents
 module Table = Asyncolor_workload.Table
 module Checker = Asyncolor.Checker
 module Color = Asyncolor.Color
+module Budget = Asyncolor_resilience.Budget
+module Stop = Asyncolor_resilience.Stop
+module Diag = Asyncolor_resilience.Diag
 
 let make_idents ~kind ~seed n =
   match kind with
@@ -172,6 +175,35 @@ let jobs_arg =
            other fan-outs merge results by input index.  Timing/rate \
            diagnostics go to stderr.")
 
+let time_budget_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "time-budget" ] ~docv:"SEC"
+        ~doc:
+          "Wall-clock budget.  When it runs out the exploration stops at the \
+           next loop boundary and prints a clean truncated report \
+           (complete=false), exit code 0.")
+
+let mem_budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "mem-budget-mb" ] ~docv:"MB"
+        ~doc:
+          "Major-heap budget in megabytes (garbage included — the figure the \
+           OOM killer sees).  Same clean-truncation contract as \
+           $(b,--time-budget).")
+
+let make_budget ~time_s ~mem_mb =
+  match (time_s, mem_mb) with
+  | None, None -> None
+  | _ ->
+      Some
+        (Budget.create ?time_s
+           ?mem_words:(Option.map Budget.mem_words_of_mb mem_mb)
+           ())
+
 let run_cmd =
   let doc = "run one execution and print the colouring" in
   let f alg n seed idents_kind adv_kind graph_kind max_steps verbose =
@@ -256,23 +288,105 @@ let check_cmd =
             "Truncate the exploration after N configurations; the report then \
              carries complete=false and the worst_case_activations=-1 sentinel.")
   in
-  let f alg idents mode max_configs jobs =
+  let checkpoint_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"PATH"
+          ~doc:
+            "Periodically persist the exploration state to PATH (written \
+             atomically: temp file + rename, checksummed).  A final \
+             checkpoint is also written when the run is stopped early by a \
+             budget, SIGINT/SIGTERM or $(b,--kill-after).")
+  in
+  let checkpoint_every_arg =
+    Arg.(
+      value
+      & opt int 10_000
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:
+            "Checkpoint whenever at least N new configurations have been \
+             interned since the last save (deterministic, unlike a timer).")
+  in
+  let resume_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"PATH"
+          ~doc:
+            "Resume the exploration stored at PATH and run it to completion \
+             (or to the next budget/checkpoint boundary).  Graph, \
+             identifiers, mode and caps come from the checkpoint; \
+             $(b,--idents), $(b,--mode) and $(b,--max-configs) are ignored.  \
+             The final report is byte-identical to an uninterrupted run, \
+             for any $(b,--jobs) on either side of the interruption.")
+  in
+  let kill_after_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "kill-after" ] ~docv:"N"
+          ~doc:
+            "Testing hook: SIGKILL this very process once N configurations \
+             have been interned — a real crash, not an exception.  Combine \
+             with $(b,--checkpoint) and restart with $(b,--resume).")
+  in
+  let f alg idents mode max_configs jobs ckpt_path ckpt_every resume time_s
+      mem_mb kill_after =
     let idents = Array.of_list idents in
     let n = Array.length idents in
     if n < 3 then failwith "need at least 3 identifiers";
     if n > Sys.int_size - 1 then
       failwith "too many identifiers for packed activation masks (n <= 62)";
-    let graph = Builders.cycle n in
+    let checkpoint = Option.map (fun p -> (p, ckpt_every)) ckpt_path in
+    let budget = make_budget ~time_s ~mem_mb in
+    (* Polled by the explorer at expansion boundaries: a genuine SIGKILL
+       for the crash-safety tests, then the signal-fed stop flag. *)
+    let stop ~configs =
+      (match kill_after with
+      | Some k when configs >= k -> Unix.kill (Unix.getpid ()) Sys.sigkill
+      | _ -> ());
+      Stop.requested ()
+    in
     let go (type s r o) (module P : Asyncolor_kernel.Protocol.S
-          with type state = s and type register = r and type output = o) check_outputs =
+          with type state = s and type register = r and type output = o)
+        (in_palette : o -> bool) =
       let module Exp = Asyncolor_check.Explorer.Make (P) in
+      (* The safety predicate is rebuilt against whichever graph the run
+         actually uses — the CLI-provided cycle for a fresh run, the
+         stored one for --resume — so fresh and resumed runs share every
+         line of the reporting path below. *)
+      let coloring_check graph outs =
+        let v = Checker.check ~equal:(fun a b -> a = b) ~in_palette graph outs in
+        if Checker.ok v then None else Some (Format.asprintf "%a" Checker.pp v)
+      in
       let t0 = Unix.gettimeofday () in
-      let r = Exp.explore ~mode ~max_configs ~jobs graph ~idents ~check_outputs in
+      let r =
+        Stop.with_signals (fun () ->
+            match resume with
+            | Some path ->
+                let info = Exp.resume_info path in
+                Diag.printf
+                  "resuming %s: %d configs interned, %d pending (n=%d)\n" path
+                  info.ri_configs info.ri_pending
+                  (Graph.n info.ri_graph);
+                Exp.explore_resume ~jobs ?checkpoint ?budget ~stop
+                  ~check_outputs:(coloring_check info.ri_graph) path
+            | None ->
+                let graph = Builders.cycle n in
+                Exp.explore ~mode ~max_configs ~jobs ?checkpoint ?budget ~stop
+                  ~check_outputs:(coloring_check graph) graph ~idents)
+      in
       let dt = Unix.gettimeofday () -. t0 in
-      Printf.eprintf "explored %d configs in %.3fs (%.0f configs/sec, jobs=%d)\n"
+      Diag.printf "explored %d configs in %.3fs (%.0f configs/sec, jobs=%d)\n"
         r.configs dt
         (float_of_int r.configs /. Float.max dt 1e-9)
         jobs;
+      (match budget with
+      | Some b when Budget.exceeded b ->
+          Diag.printf "budget exceeded (%s): truncated report\n"
+            (Budget.describe b)
+      | _ -> ());
       Format.printf "%a@." Exp.pp_report r;
       (match r.livelock with
       | Some v ->
@@ -284,24 +398,24 @@ let check_cmd =
       | None -> ());
       List.iter (fun (v : Exp.violation) -> Format.printf "violation: %s@." v.message) r.safety
     in
-    let coloring_check in_palette outs =
-      let v = Checker.check ~equal:(fun a b -> a = b) ~in_palette graph outs in
-      if Checker.ok v then None else Some (Format.asprintf "%a" Checker.pp v)
-    in
     match alg with
-    | 1 -> go (module Asyncolor.Algorithm1.P) (coloring_check (Color.pair_in_palette ~budget:2))
-    | 2 -> go (module Asyncolor.Algorithm2.P) (coloring_check Color.in_five)
-    | 3 -> go (module Asyncolor.Algorithm3.P) (coloring_check Color.in_five)
+    | 1 -> go (module Asyncolor.Algorithm1.P) (Color.pair_in_palette ~budget:2)
+    | 2 -> go (module Asyncolor.Algorithm2.P) Color.in_five
+    | 3 -> go (module Asyncolor.Algorithm3.P) Color.in_five
     | n -> failwith (Printf.sprintf "check supports algorithms 1-3, not %d" n)
   in
   Cmd.v (Cmd.info "check" ~doc)
-    Term.(const f $ alg_arg $ idents_csv $ mode_arg $ max_configs_arg $ jobs_arg)
+    Term.(
+      const f $ alg_arg $ idents_csv $ mode_arg $ max_configs_arg $ jobs_arg
+      $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ time_budget_arg
+      $ mem_budget_arg $ kill_after_arg)
 
 let lockhunt_cmd =
   let doc = "attack every adjacent pair with the isolate-pair schedule (finding F1)" in
-  let f alg n seed idents_kind jobs =
+  let f alg n seed idents_kind jobs time_s mem_mb =
     let graph = Builders.cycle n in
     let idents = make_idents ~kind:idents_kind ~seed n in
+    let budget = make_budget ~time_s ~mem_mb in
     let table = Table.create ~headers:[ "pair"; "locked"; "steps"; "pair activations" ] in
     let report (findings : (int * int) list) total =
       Printf.printf "%d/%d pairs lock\n" (List.length findings) total
@@ -310,12 +424,19 @@ let lockhunt_cmd =
           with type state = s and type register = r) =
       let module H = Asyncolor_check.Lockhunt.Make (P) in
       let t0 = Unix.gettimeofday () in
-      let findings = H.hunt ~jobs graph ~idents in
+      let findings =
+        Stop.with_signals (fun () ->
+            H.hunt ~jobs ?budget ~stop:Stop.requested graph ~idents)
+      in
       let dt = Unix.gettimeofday () -. t0 in
-      Printf.eprintf "%d probes in %.3fs (%.0f probes/sec, jobs=%d)\n"
+      Diag.printf "%d probes in %.3fs (%.0f probes/sec, jobs=%d)\n"
         (List.length findings) dt
         (float_of_int (List.length findings) /. Float.max dt 1e-9)
         jobs;
+      let nedges = List.length (Graph.edges graph) in
+      if List.length findings < nedges then
+        Printf.printf "hunt cut short: probed %d/%d pairs\n"
+          (List.length findings) nedges;
       List.iter
         (fun (f : H.finding) ->
           if f.locked then
@@ -337,7 +458,9 @@ let lockhunt_cmd =
     Table.print table
   in
   Cmd.v (Cmd.info "lockhunt" ~doc)
-    Term.(const f $ alg_arg $ n_arg $ seed_arg $ idents_arg $ jobs_arg)
+    Term.(
+      const f $ alg_arg $ n_arg $ seed_arg $ idents_arg $ jobs_arg
+      $ time_budget_arg $ mem_budget_arg)
 
 let replay_cmd =
   let doc = "replay an explicit schedule (e.g. a lasso printed by check)" in

@@ -1,5 +1,8 @@
 module Vec = Asyncolor_util.Vec
 module Domain_pool = Asyncolor_util.Domain_pool
+module Checkpoint = Asyncolor_resilience.Checkpoint
+module Budget = Asyncolor_resilience.Budget
+module Diag = Asyncolor_resilience.Diag
 
 (* --- activation subsets: list form (reference) and packed form --------- *)
 
@@ -337,6 +340,173 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
       safety_raw = List.rev !safety;
     }
 
+  (* --- crash-safe packed exploration: shared state --------------------- *)
+
+  (* Everything the two packed builders mutate, gathered in one record so
+     a checkpoint can snapshot it and a resumed run can pick it back up.
+     The boxed configurations are *not* part of it: each builder keeps its
+     own pending container (FIFO queue, or frontier arrays whose
+     concatenation is the same order), which is the only other state a
+     checkpoint has to persist. *)
+  type bfs_state = {
+    s_parent_pred : int Vec.t;
+    s_parent_mask : int Vec.t;
+    s_adj_off : int Vec.t;
+    s_adj_data : int Vec.t;
+    mutable s_next_id : int;
+    mutable s_transitions : int;
+    mutable s_terminal : int;
+    mutable s_safety_rev : (string * int) list;  (* reverse discovery order *)
+    mutable s_n_safety : int;
+    mutable s_complete : bool;
+  }
+
+  let fresh_state () =
+    let st =
+      {
+        s_parent_pred = Vec.create ~capacity:1024 ~dummy:(-1) ();
+        s_parent_mask = Vec.create ~capacity:1024 ~dummy:0 ();
+        s_adj_off = Vec.create ~capacity:1024 ~dummy:0 ();
+        s_adj_data = Vec.create ~capacity:4096 ~dummy:0 ();
+        s_next_id = 0;
+        s_transitions = 0;
+        s_terminal = 0;
+        s_safety_rev = [];
+        s_n_safety = 0;
+        s_complete = true;
+      }
+    in
+    Vec.push st.s_adj_off 0;
+    st
+
+  let packed_of_state st =
+    {
+      total = st.s_next_id;
+      transitions = st.s_transitions;
+      terminal = st.s_terminal;
+      complete = st.s_complete;
+      parent_pred = Vec.to_array st.s_parent_pred;
+      parent_mask = Vec.to_array st.s_parent_mask;
+      adj_off = Vec.to_array st.s_adj_off;
+      adj_data = Vec.to_array st.s_adj_data;
+      safety_raw = List.rev st.s_safety_rev;
+    }
+
+  (* Exploration parameters threaded through both packed builders. *)
+  type params = {
+    mode : [ `All_subsets | `Singletons ];
+    max_configs : int;
+    max_violations : int;
+    check_outputs : (P.output option array -> string option) option;
+    check_config : (E.t -> string option) option;
+    checkpoint : (string * int) option;
+    budget : Budget.t option;
+    stop : (configs:int -> bool) option;
+  }
+
+  let register_st st config =
+    let id = st.s_next_id in
+    st.s_next_id <- id + 1;
+    Vec.push st.s_parent_pred (-1);
+    Vec.push st.s_parent_mask 0;
+    if E.config_unfinished_mask config = 0 then
+      st.s_terminal <- st.s_terminal + 1;
+    id
+
+  (* Runs the safety predicates; the engine must currently hold [config]
+     (seed contract). *)
+  let safety_check ~params st engine id config =
+    if st.s_n_safety < params.max_violations then begin
+      let record message =
+        st.s_n_safety <- st.s_n_safety + 1;
+        st.s_safety_rev <- (message, id) :: st.s_safety_rev
+      in
+      (match params.check_outputs with
+      | None -> ()
+      | Some f -> (
+          match f (E.config_outputs config) with
+          | None -> ()
+          | Some msg -> record msg));
+      match params.check_config with
+      | None -> ()
+      | Some f -> (match f engine with None -> () | Some msg -> record msg)
+    end
+
+  let should_stop ~params st =
+    (match params.stop with
+    | Some f -> f ~configs:st.s_next_id
+    | None -> false)
+    ||
+    match params.budget with Some b -> Budget.exceeded b | None -> false
+
+  (* --- checkpoint payload ---------------------------------------------- *)
+
+  (* Marshalled as the payload of an [Asyncolor_resilience.Checkpoint]
+     container.  Intern-table keys are stored as their packed int payloads
+     ([E.key_data]) indexed by dense id and rebuilt with [E.key_of_data]
+     — the hash is recomputed on load, never trusted.  [ck_pending] holds
+     the interned-but-unexpanded configurations in FIFO order (for the
+     parallel builder: the current frontier, which is a contiguous slice
+     of that same order).  Both builders expand pending entries in stored
+     order and assign dense ids in expansion order, so a resumed run —
+     under any [jobs] value — produces the same report, byte for byte, as
+     one that was never interrupted. *)
+  type ckpt = {
+    ck_protocol : string;
+    ck_graph : Asyncolor_topology.Graph.t;
+    ck_idents : int array;
+    ck_mode : [ `All_subsets | `Singletons ];
+    ck_max_configs : int;
+    ck_max_violations : int;
+    ck_next_id : int;
+    ck_transitions : int;
+    ck_terminal : int;
+    ck_complete : bool;
+    ck_parent_pred : int array;
+    ck_parent_mask : int array;
+    ck_adj_off : int array;
+    ck_adj_data : int array;
+    ck_safety_rev : (string * int) list;
+    ck_keys : int array array;  (* packed key payloads, indexed by dense id *)
+    ck_pending : (int * E.config) array;  (* FIFO order *)
+  }
+
+  (* Bump whenever the [ckpt] record or the engine's key packing changes
+     shape — [Checkpoint.load] rejects other versions up front. *)
+  let ckpt_version = 1
+
+  let save_ckpt ~params ~graph ~idents st ~keys ~pending path =
+    Checkpoint.save ~path ~version:ckpt_version
+      {
+        ck_protocol = P.name;
+        ck_graph = graph;
+        ck_idents = Array.copy idents;
+        ck_mode = params.mode;
+        ck_max_configs = params.max_configs;
+        ck_max_violations = params.max_violations;
+        ck_next_id = st.s_next_id;
+        ck_transitions = st.s_transitions;
+        ck_terminal = st.s_terminal;
+        ck_complete = st.s_complete;
+        ck_parent_pred = Vec.to_array st.s_parent_pred;
+        ck_parent_mask = Vec.to_array st.s_parent_mask;
+        ck_adj_off = Vec.to_array st.s_adj_off;
+        ck_adj_data = Vec.to_array st.s_adj_data;
+        ck_safety_rev = st.s_safety_rev;
+        ck_keys = keys ();
+        ck_pending = pending ();
+      }
+
+  let keys_of_key_tbl tbl n =
+    let a = Array.make n [||] in
+    E.Key_tbl.iter (fun k id -> a.(id) <- E.key_data k) tbl;
+    a
+
+  let keys_of_shards tbl n =
+    let a = Array.make n [||] in
+    Shards.iter (fun k id -> a.(id) <- E.key_data k) tbl;
+    a
+
   (* --- packed sequential BFS: the jobs=1 fast path --------------------- *)
 
   (* Same discovery order as [explore_reference] (FIFO queue, subsets in
@@ -345,98 +515,92 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
      interned through their packed keys in one [Key_tbl], activation sets
      stay bitmasks end-to-end, and a configuration is dropped as soon as
      it has been expanded (only keys are retained), which is what keeps
-     multi-million-configuration runs inside memory. *)
-  let explore_seq_packed ~max_configs ~max_violations ~mode ~check_outputs
-      ~check_config graph ~idents =
+     multi-million-configuration runs inside memory.
+
+     The loop is boundary-instrumented: before expanding each queue entry
+     it may write a periodic checkpoint (pending = the current queue) and
+     polls the stop callback and resource budget.  On a hit it writes a
+     final checkpoint while the queue is still intact, then degrades
+     exactly like the [max_configs] cap: pending configurations that still
+     have working processes mark the exploration incomplete, and every
+     unexpanded entry keeps an empty adjacency row. *)
+  let run_seq ~params ~graph ~idents st tbl queue =
+    let engine = E.create graph ~idents in
+    let last_ck = ref st.s_next_id in
+    let maybe_checkpoint ~force () =
+      match params.checkpoint with
+      | Some (path, every) when force || st.s_next_id - !last_ck >= max 1 every
+        ->
+          save_ckpt ~params ~graph ~idents st
+            ~keys:(fun () -> keys_of_key_tbl tbl st.s_next_id)
+            ~pending:(fun () -> Array.of_seq (Queue.to_seq queue))
+            path;
+          last_ck := st.s_next_id;
+          Diag.printf "checkpoint: %d configs, %d pending -> %s\n" st.s_next_id
+            (Queue.length queue) path
+      | _ -> ()
+    in
+    let stopped = ref false in
+    while (not (Queue.is_empty queue)) && not !stopped do
+      maybe_checkpoint ~force:false ();
+      if should_stop ~params st then stopped := true
+      else begin
+        let uid, config = Queue.pop queue in
+        let um = E.config_unfinished_mask config in
+        let masks = if um = 0 then [||] else masks_of params.mode um in
+        Array.iter
+          (fun mask ->
+            if st.s_next_id < params.max_configs then begin
+              E.restore engine config;
+              E.activate_mask engine mask;
+              let succ = E.snapshot engine in
+              let key = E.config_key succ in
+              st.s_transitions <- st.s_transitions + 1;
+              let vid, fresh =
+                match E.Key_tbl.find_opt tbl key with
+                | Some id -> (id, false)
+                | None ->
+                    let id = register_st st succ in
+                    Queue.add (id, succ) queue;
+                    E.Key_tbl.add tbl key id;
+                    (id, true)
+              in
+              Vec.push st.s_adj_data mask;
+              Vec.push st.s_adj_data vid;
+              if fresh then begin
+                Vec.set st.s_parent_pred vid uid;
+                Vec.set st.s_parent_mask vid mask;
+                safety_check ~params st engine vid succ
+              end
+            end
+            else st.s_complete <- false)
+          masks;
+        Vec.push st.s_adj_off (Vec.length st.s_adj_data)
+      end
+    done;
+    if !stopped then begin
+      maybe_checkpoint ~force:true ();
+      Queue.iter
+        (fun (_, c) ->
+          if E.config_unfinished_mask c <> 0 then st.s_complete <- false)
+        queue;
+      Queue.iter
+        (fun _ -> Vec.push st.s_adj_off (Vec.length st.s_adj_data))
+        queue
+    end;
+    packed_of_state st
+
+  let explore_seq ~params graph ~idents =
+    let st = fresh_state () in
+    let tbl = E.Key_tbl.create 1024 in
+    let queue = Queue.create () in
     let engine = E.create graph ~idents in
     let initial = E.snapshot engine in
-    let tbl = E.Key_tbl.create 1024 in
-    let parent_pred = Vec.create ~capacity:1024 ~dummy:(-1) () in
-    let parent_mask = Vec.create ~capacity:1024 ~dummy:0 () in
-    let adj_off = Vec.create ~capacity:1024 ~dummy:0 () in
-    let adj_data = Vec.create ~capacity:4096 ~dummy:0 () in
-    Vec.push adj_off 0;
-    let next_id = ref 0 in
-    let transitions = ref 0 in
-    let terminal = ref 0 in
-    let safety = ref [] in
-    let n_safety = ref 0 in
-    let complete = ref true in
-    let queue = Queue.create () in
-    let register config =
-      let id = !next_id in
-      incr next_id;
-      Vec.push parent_pred (-1);
-      Vec.push parent_mask 0;
-      if E.config_unfinished_mask config = 0 then incr terminal;
-      Queue.add (id, config) queue;
-      id
-    in
-    (* The engine must currently hold [config] (seed contract). *)
-    let check id config =
-      if !n_safety < max_violations then begin
-        let record message =
-          incr n_safety;
-          safety := (message, id) :: !safety
-        in
-        (match check_outputs with
-        | None -> ()
-        | Some f -> (
-            match f (E.config_outputs config) with
-            | None -> ()
-            | Some msg -> record msg));
-        match check_config with
-        | None -> ()
-        | Some f -> (
-            match f engine with None -> () | Some msg -> record msg)
-      end
-    in
-    let root_id = register initial in
+    let root_id = register_st st initial in
+    Queue.add (root_id, initial) queue;
     E.Key_tbl.add tbl (E.config_key initial) root_id;
-    check root_id initial;
-    while not (Queue.is_empty queue) do
-      let uid, config = Queue.pop queue in
-      let um = E.config_unfinished_mask config in
-      let masks = if um = 0 then [||] else masks_of mode um in
-      Array.iter
-        (fun mask ->
-          if !next_id < max_configs then begin
-            E.restore engine config;
-            E.activate_mask engine mask;
-            let succ = E.snapshot engine in
-            let key = E.config_key succ in
-            incr transitions;
-            let vid, fresh =
-              match E.Key_tbl.find_opt tbl key with
-              | Some id -> (id, false)
-              | None ->
-                  let id = register succ in
-                  E.Key_tbl.add tbl key id;
-                  (id, true)
-            in
-            Vec.push adj_data mask;
-            Vec.push adj_data vid;
-            if fresh then begin
-              Vec.set parent_pred vid uid;
-              Vec.set parent_mask vid mask;
-              check vid succ
-            end
-          end
-          else complete := false)
-        masks;
-      Vec.push adj_off (Vec.length adj_data)
-    done;
-    {
-      total = !next_id;
-      transitions = !transitions;
-      terminal = !terminal;
-      complete = !complete;
-      parent_pred = Vec.to_array parent_pred;
-      parent_mask = Vec.to_array parent_mask;
-      adj_off = Vec.to_array adj_off;
-      adj_data = Vec.to_array adj_data;
-      safety_raw = List.rev !safety;
-    }
+    safety_check ~params st engine root_id initial;
+    run_seq ~params ~graph ~idents st tbl queue
 
   (* --- level-synchronous parallel BFS with sharded interning ----------- *)
 
@@ -464,77 +628,62 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
         order and the cap all derive from this jobs-independent order, the
         resulting report is byte-identical for every [jobs] value and to
         the reference implementation.  Phases A and B do all the engine
-        and hashing work; phase C only moves integers. *)
-  let explore_parallel ~jobs ~max_configs ~max_violations ~mode ~check_outputs
-      ~check_config graph ~idents =
+        and hashing work; phase C only moves integers.
+
+     The level boundary doubles as the crash-safety boundary: before each
+     level the loop may write a periodic checkpoint (pending = the
+     current frontier, which is a contiguous slice of the FIFO order the
+     sequential builder would hold) and polls the stop callback and
+     resource budget — same degradation contract as [run_seq]. *)
+  let run_par ~params ~jobs ~graph ~idents st tbl frontier_ids0 frontier_cfgs0
+      =
     let jobs = max 1 jobs in
-    let engines = Array.init jobs (fun _ -> E.create graph ~idents) in
-    let initial = E.snapshot engines.(0) in
-    let tbl = Shards.create ~shards:jobs 1024 in
     let nshards = Shards.shards tbl in
-    let parent_pred = Vec.create ~capacity:1024 ~dummy:(-1) () in
-    let parent_mask = Vec.create ~capacity:1024 ~dummy:0 () in
-    let adj_off = Vec.create ~capacity:1024 ~dummy:0 () in
-    let adj_data = Vec.create ~capacity:4096 ~dummy:0 () in
-    Vec.push adj_off 0;
-    let next_id = ref 0 in
-    let transitions = ref 0 in
-    let terminal = ref 0 in
-    let safety = ref [] in
-    let n_safety = ref 0 in
-    let complete = ref true in
+    let engines = Array.init jobs (fun _ -> E.create graph ~idents) in
+    let dummy_cfg = E.snapshot engines.(0) in
+    let dummy_key = E.config_key dummy_cfg in
     let next_ids = Vec.create ~capacity:1024 ~dummy:0 () in
-    let next_cfgs = Vec.create ~capacity:1024 ~dummy:initial () in
-    let register config =
-      let id = !next_id in
-      incr next_id;
-      Vec.push parent_pred (-1);
-      Vec.push parent_mask 0;
-      if E.config_unfinished_mask config = 0 then incr terminal;
-      Vec.push next_ids id;
-      Vec.push next_cfgs config;
-      id
-    in
+    let next_cfgs = Vec.create ~capacity:1024 ~dummy:dummy_cfg () in
     let check id config =
-      if !n_safety < max_violations then begin
-        let record message =
-          incr n_safety;
-          safety := (message, id) :: !safety
-        in
-        (match check_outputs with
-        | None -> ()
-        | Some f -> (
-            match f (E.config_outputs config) with
-            | None -> ()
-            | Some msg -> record msg));
-        match check_config with
-        | None -> ()
-        | Some f ->
-            E.restore engines.(0) config;
-            (match f engines.(0) with None -> () | Some msg -> record msg)
-      end
+      (match params.check_config with
+      | Some _ -> E.restore engines.(0) config
+      | None -> ());
+      safety_check ~params st engines.(0) id config
     in
-    let root_key = E.config_key initial in
-    let root_id = register initial in
-    Shards.add tbl root_key root_id;
-    check root_id initial;
+    let last_ck = ref st.s_next_id in
+    let maybe_checkpoint ~force ~fids ~fcfgs () =
+      match params.checkpoint with
+      | Some (path, every) when force || st.s_next_id - !last_ck >= max 1 every
+        ->
+          save_ckpt ~params ~graph ~idents st
+            ~keys:(fun () -> keys_of_shards tbl st.s_next_id)
+            ~pending:(fun () ->
+              Array.init (Array.length fids) (fun i -> (fids.(i), fcfgs.(i))))
+            path;
+          last_ck := st.s_next_id;
+          Diag.printf "checkpoint: %d configs, %d pending -> %s\n" st.s_next_id
+            (Array.length fids) path
+      | _ -> ()
+    in
+    let stopped = ref false in
     Domain_pool.with_pool ~jobs (fun pool ->
-        let frontier_ids = ref (Vec.to_array next_ids) in
-        let frontier_cfgs = ref (Vec.to_array next_cfgs) in
-        Vec.clear next_ids;
-        Vec.clear next_cfgs;
-        while Array.length !frontier_ids > 0 do
+        let frontier_ids = ref frontier_ids0 in
+        let frontier_cfgs = ref frontier_cfgs0 in
+        while Array.length !frontier_ids > 0 && not !stopped do
           let fids = !frontier_ids and fcfgs = !frontier_cfgs in
           let flen = Array.length fids in
-          if !next_id >= max_configs then begin
+          maybe_checkpoint ~force:false ~fids ~fcfgs ();
+          if should_stop ~params st then stopped := true
+          else if st.s_next_id >= params.max_configs then begin
             (* The cap is already hit: no expansion can happen, but every
                pending configuration that still has working processes marks
                the exploration incomplete — exactly the sequential path. *)
             Array.iter
-              (fun c -> if E.config_unfinished_mask c <> 0 then complete := false)
+              (fun c ->
+                if E.config_unfinished_mask c <> 0 then st.s_complete <- false)
               fcfgs;
             for _ = 1 to flen do
-              Vec.push adj_off (Vec.length adj_data)
+              Vec.push st.s_adj_off (Vec.length st.s_adj_data)
             done;
             frontier_ids := [||];
             frontier_cfgs := [||]
@@ -542,7 +691,8 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
           else begin
             (* phase A *)
             let slices =
-              Array.init jobs (fun s -> (s, flen * s / jobs, flen * (s + 1) / jobs))
+              Array.init jobs (fun s ->
+                  (s, flen * s / jobs, flen * (s + 1) / jobs))
             in
             let expanded =
               Domain_pool.map pool
@@ -559,7 +709,7 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
                             E.activate_mask eng mask;
                             let succ = E.snapshot eng in
                             (mask, E.config_key succ, succ))
-                          (masks_of mode um)))
+                          (masks_of params.mode um)))
                 slices
             in
             (* flatten into global candidate order *)
@@ -570,7 +720,7 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
                 0 expanded
             in
             let cand_off = Array.make (flen + 1) 0 in
-            let cands = Array.make (max 1 ncands) (0, root_key, initial) in
+            let cands = Array.make (max 1 ncands) (0, dummy_key, dummy_cfg) in
             let k = ref 0 in
             Array.iteri
               (fun s per_cfg ->
@@ -608,65 +758,182 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
             for f = 0 to flen - 1 do
               let uid = fids.(f) in
               for j = cand_off.(f) to cand_off.(f + 1) - 1 do
-                if !next_id >= max_configs then complete := false
+                if st.s_next_id >= params.max_configs then
+                  st.s_complete <- false
                 else begin
                   let mask, key, config = cands.(j) in
-                  incr transitions;
+                  st.s_transitions <- st.s_transitions + 1;
                   let vid =
                     let v = verdict.(j) in
                     if v <= -2 then -v - 2
                     else if v >= 0 then resolved.(v)
                     else begin
-                      let id = register config in
+                      let id = register_st st config in
+                      Vec.push next_ids id;
+                      Vec.push next_cfgs config;
                       Shards.add tbl key id;
-                      Vec.set parent_pred id uid;
-                      Vec.set parent_mask id mask;
+                      Vec.set st.s_parent_pred id uid;
+                      Vec.set st.s_parent_mask id mask;
                       check id config;
                       resolved.(j) <- id;
                       id
                     end
                   in
-                  Vec.push adj_data mask;
-                  Vec.push adj_data vid
+                  Vec.push st.s_adj_data mask;
+                  Vec.push st.s_adj_data vid
                 end
               done;
-              Vec.push adj_off (Vec.length adj_data)
+              Vec.push st.s_adj_off (Vec.length st.s_adj_data)
             done;
             frontier_ids := Vec.to_array next_ids;
             frontier_cfgs := Vec.to_array next_cfgs;
             Vec.clear next_ids;
             Vec.clear next_cfgs
           end
-        done);
-    {
-      total = !next_id;
-      transitions = !transitions;
-      terminal = !terminal;
-      complete = !complete;
-      parent_pred = Vec.to_array parent_pred;
-      parent_mask = Vec.to_array parent_mask;
-      adj_off = Vec.to_array adj_off;
-      adj_data = Vec.to_array adj_data;
-      safety_raw = List.rev !safety;
-    }
+        done;
+        if !stopped then begin
+          maybe_checkpoint ~force:true ~fids:!frontier_ids
+            ~fcfgs:!frontier_cfgs ();
+          Array.iter
+            (fun c ->
+              if E.config_unfinished_mask c <> 0 then st.s_complete <- false)
+            !frontier_cfgs;
+          Array.iter
+            (fun _ -> Vec.push st.s_adj_off (Vec.length st.s_adj_data))
+            !frontier_ids
+        end);
+    packed_of_state st
+
+  let explore_par ~params ~jobs graph ~idents =
+    let st = fresh_state () in
+    let tbl = Shards.create ~shards:(max 1 jobs) 1024 in
+    let engine = E.create graph ~idents in
+    let initial = E.snapshot engine in
+    let root_id = register_st st initial in
+    Shards.add tbl (E.config_key initial) root_id;
+    safety_check ~params st engine root_id initial;
+    run_par ~params ~jobs ~graph ~idents st tbl [| root_id |] [| initial |]
 
   let explore ?(max_configs = 500_000) ?(max_violations = 5)
-      ?(mode = `All_subsets) ?(impl = `Hashcons) ?(jobs = 1) ?check_outputs
-      ?check_config graph ~idents =
+      ?(mode = `All_subsets) ?(impl = `Hashcons) ?(jobs = 1) ?checkpoint
+      ?budget ?stop ?check_outputs ?check_config graph ~idents =
     let n = Asyncolor_topology.Graph.n graph in
     if n > Sys.int_size - 1 then
       invalid_arg "Explorer.explore: packed activation masks need n <= 62";
     let packed =
       match impl with
       | `Reference ->
+          if
+            Option.is_some checkpoint || Option.is_some budget
+            || Option.is_some stop
+          then
+            invalid_arg
+              "Explorer.explore: the `Reference oracle supports neither \
+               checkpoints, budgets nor stop callbacks (use `Hashcons)";
           explore_reference ~max_configs ~max_violations ~mode ~check_outputs
             ~check_config graph ~idents
-      | `Hashcons when jobs <= 1 ->
-          explore_seq_packed ~max_configs ~max_violations ~mode ~check_outputs
-            ~check_config graph ~idents
       | `Hashcons ->
-          explore_parallel ~jobs ~max_configs ~max_violations ~mode
-            ~check_outputs ~check_config graph ~idents
+          let params =
+            {
+              mode;
+              max_configs;
+              max_violations;
+              check_outputs;
+              check_config;
+              checkpoint;
+              budget;
+              stop;
+            }
+          in
+          if jobs <= 1 then explore_seq ~params graph ~idents
+          else explore_par ~params ~jobs graph ~idents
+    in
+    finish_report ~n packed
+
+  (* --- resuming from a checkpoint -------------------------------------- *)
+
+  type resume_info = {
+    ri_graph : Asyncolor_topology.Graph.t;
+    ri_idents : int array;
+    ri_mode : [ `All_subsets | `Singletons ];
+    ri_max_configs : int;
+    ri_max_violations : int;
+    ri_configs : int;
+    ri_pending : int;
+  }
+
+  let load_ckpt path =
+    let (c : ckpt) = Checkpoint.load ~path ~version:ckpt_version in
+    if c.ck_protocol <> P.name then
+      raise
+        (Checkpoint.Corrupt
+           (Printf.sprintf "checkpoint is for protocol %S, not %S"
+              c.ck_protocol P.name));
+    c
+
+  let resume_info path =
+    let c = load_ckpt path in
+    {
+      ri_graph = c.ck_graph;
+      ri_idents = Array.copy c.ck_idents;
+      ri_mode = c.ck_mode;
+      ri_max_configs = c.ck_max_configs;
+      ri_max_violations = c.ck_max_violations;
+      ri_configs = c.ck_next_id;
+      ri_pending = Array.length c.ck_pending;
+    }
+
+  let state_of_ckpt c =
+    {
+      s_parent_pred = Vec.of_array ~dummy:(-1) c.ck_parent_pred;
+      s_parent_mask = Vec.of_array ~dummy:0 c.ck_parent_mask;
+      s_adj_off = Vec.of_array ~dummy:0 c.ck_adj_off;
+      s_adj_data = Vec.of_array ~dummy:0 c.ck_adj_data;
+      s_next_id = c.ck_next_id;
+      s_transitions = c.ck_transitions;
+      s_terminal = c.ck_terminal;
+      s_safety_rev = c.ck_safety_rev;
+      s_n_safety = List.length c.ck_safety_rev;
+      s_complete = c.ck_complete;
+    }
+
+  let explore_resume ?(jobs = 1) ?checkpoint ?budget ?stop ?check_outputs
+      ?check_config path =
+    let c = load_ckpt path in
+    let graph = c.ck_graph and idents = c.ck_idents in
+    let n = Asyncolor_topology.Graph.n graph in
+    let params =
+      {
+        mode = c.ck_mode;
+        max_configs = c.ck_max_configs;
+        max_violations = c.ck_max_violations;
+        check_outputs;
+        check_config;
+        checkpoint;
+        budget;
+        stop;
+      }
+    in
+    let st = state_of_ckpt c in
+    let packed =
+      if jobs <= 1 then begin
+        let tbl = E.Key_tbl.create (max 1024 (2 * c.ck_next_id)) in
+        Array.iteri
+          (fun id kdata -> E.Key_tbl.add tbl (E.key_of_data kdata) id)
+          c.ck_keys;
+        let queue = Queue.create () in
+        Array.iter (fun entry -> Queue.add entry queue) c.ck_pending;
+        run_seq ~params ~graph ~idents st tbl queue
+      end
+      else begin
+        let tbl = Shards.create ~shards:jobs 1024 in
+        Array.iteri
+          (fun id kdata -> Shards.add tbl (E.key_of_data kdata) id)
+          c.ck_keys;
+        run_par ~params ~jobs ~graph ~idents st tbl
+          (Array.map fst c.ck_pending)
+          (Array.map snd c.ck_pending)
+      end
     in
     finish_report ~n packed
 

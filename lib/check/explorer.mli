@@ -87,6 +87,9 @@ module Make (P : Asyncolor_kernel.Protocol.S) : sig
     ?mode:[ `All_subsets | `Singletons ] ->
     ?impl:[ `Hashcons | `Reference ] ->
     ?jobs:int ->
+    ?checkpoint:string * int ->
+    ?budget:Asyncolor_resilience.Budget.t ->
+    ?stop:(configs:int -> bool) ->
     ?check_outputs:(P.output option array -> string option) ->
     ?check_config:(E.t -> string option) ->
     Asyncolor_topology.Graph.t ->
@@ -121,9 +124,80 @@ module Make (P : Asyncolor_kernel.Protocol.S) : sig
       jobs-independent order (frontier position, then activation-subset
       order), which is exactly sequential BFS discovery order.
 
+      {b Crash safety} ([`Hashcons] only — [`Reference] raises
+      [Invalid_argument] when any of the three options below is given):
+
+      [checkpoint:(path, every)] persists the exploration state to [path]
+      (atomically, through {!Asyncolor_resilience.Checkpoint}) whenever at
+      least [every] new configurations have been interned since the last
+      save, and once more when the run is stopped early.  The interval is
+      measured in configurations, not seconds, so checkpoint placement is
+      deterministic and testable.
+
+      [budget] bounds the run by wall-clock time and/or live heap words
+      ({!Asyncolor_resilience.Budget}); [stop] is an arbitrary
+      cancellation callback (e.g. {!Asyncolor_resilience.Stop.requested}
+      fed by signal handlers), polled with the current number of interned
+      configurations.  Both are checked at expansion boundaries — per
+      queue entry sequentially, per BFS level in parallel.  When either
+      fires, the run {e degrades, never corrupts}: a final checkpoint is
+      written (if configured) while the pending set is intact, and the
+      returned report is a well-formed truncation with [complete = false]
+      (unless every pending configuration was terminal anyway) — exactly
+      the [max_configs] contract.
+
       @raise Invalid_argument when the graph has more than
       [Sys.int_size - 1] nodes (activation masks could not name every
       process). *)
+
+  (** {1 Resuming}
+
+      What a checkpoint written by {!explore} (or {!explore_resume})
+      describes, structurally: the packed configuration graph built so
+      far, the intern table as flat key payloads, and the
+      interned-but-unexpanded configurations in FIFO discovery order.
+      Because both packed builders expand pending entries in stored order
+      and assign dense ids in expansion order, resuming is
+      {e byte-identical}: the final report of an interrupted-and-resumed
+      run equals the report of an uninterrupted run, for every [jobs]
+      value on either side of the interruption. *)
+
+  type resume_info = {
+    ri_graph : Asyncolor_topology.Graph.t;
+    ri_idents : int array;
+    ri_mode : [ `All_subsets | `Singletons ];
+    ri_max_configs : int;
+    ri_max_violations : int;
+    ri_configs : int;  (** configurations interned when the checkpoint was written *)
+    ri_pending : int;  (** configurations still awaiting expansion *)
+  }
+
+  val resume_info : string -> resume_info
+  (** Inspect a checkpoint without resuming it — the CLI uses this to
+      rebuild the safety predicates for the stored graph and identifiers
+      before calling {!explore_resume}.
+      @raise Asyncolor_resilience.Checkpoint.Corrupt on damaged files,
+      version mismatches, or checkpoints written by a different
+      protocol. *)
+
+  val explore_resume :
+    ?jobs:int ->
+    ?checkpoint:string * int ->
+    ?budget:Asyncolor_resilience.Budget.t ->
+    ?stop:(configs:int -> bool) ->
+    ?check_outputs:(P.output option array -> string option) ->
+    ?check_config:(E.t -> string option) ->
+    string ->
+    report
+  (** [explore_resume path] continues the exploration stored at [path] to
+      the end (or to the next checkpoint/budget/stop boundary — resumed
+      runs can themselves checkpoint and be resumed again).  The
+      structural parameters — graph, identifiers, mode, [max_configs],
+      [max_violations] — come from the checkpoint; only the things a
+      checkpoint cannot serialise are re-supplied: the safety closures
+      (which must be the same predicates for the byte-identity guarantee
+      to cover violation messages) and the degree of parallelism.
+      @raise Asyncolor_resilience.Checkpoint.Corrupt as {!resume_info}. *)
 
   val pp_report : Format.formatter -> report -> unit
 end

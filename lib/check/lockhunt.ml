@@ -1,6 +1,7 @@
 module Graph = Asyncolor_topology.Graph
 module Adversary = Asyncolor_kernel.Adversary
 module Domain_pool = Asyncolor_util.Domain_pool
+module Budget = Asyncolor_resilience.Budget
 
 module Make (P : Asyncolor_kernel.Protocol.S) = struct
   module E = Asyncolor_kernel.Engine.Make (P)
@@ -35,20 +36,39 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
     let engine = E.create graph ~idents in
     probe_restored ~max_steps engine (E.snapshot engine) pair
 
-  let hunt ?max_steps ?(jobs = 1) graph ~idents =
+  let hunt ?max_steps ?(jobs = 1) ?budget ?stop graph ~idents =
     let max_steps =
       match max_steps with Some m -> m | None -> default_steps (Graph.n graph)
+    in
+    (* Polled between probes (and inside every parallel slice): a hunt cut
+       short by a budget or a stop request returns the findings gathered so
+       far instead of an exception — compare the result length against the
+       edge count to detect truncation. *)
+    let should_stop () =
+      (match stop with Some f -> f () | None -> false)
+      ||
+      match budget with Some b -> Budget.exceeded b | None -> false
     in
     let edges = Array.of_list (Graph.edges graph) in
     let nedges = Array.length edges in
     if jobs <= 1 || nedges <= 1 then begin
       let engine = E.create graph ~idents in
       let initial = E.snapshot engine in
-      Array.to_list (Array.map (probe_restored ~max_steps engine initial) edges)
+      let acc = ref [] in
+      (try
+         Array.iter
+           (fun pair ->
+             if should_stop () then raise Exit;
+             acc := probe_restored ~max_steps engine initial pair :: !acc)
+           edges
+       with Exit -> ());
+      List.rev !acc
     end
     else begin
       (* Contiguous slices, one private engine per slice; findings come
-         back in edge order because [Domain_pool.map] merges by index. *)
+         back in edge order because [Domain_pool.map] merges by index.
+         Under a budget/stop cut each slice keeps its probed prefix, so
+         the merged result is still sorted by edge order within slices. *)
       let jobs = min jobs nedges in
       let slices =
         Array.init jobs (fun s -> (nedges * s / jobs, nedges * (s + 1) / jobs))
@@ -59,8 +79,16 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
               (fun (lo, hi) ->
                 let engine = E.create graph ~idents in
                 let initial = E.snapshot engine in
-                Array.init (hi - lo) (fun i ->
-                    probe_restored ~max_steps engine initial edges.(lo + i)))
+                let acc = ref [] in
+                (try
+                   for i = lo to hi - 1 do
+                     if should_stop () then raise Exit;
+                     acc :=
+                       probe_restored ~max_steps engine initial edges.(i)
+                       :: !acc
+                   done
+                 with Exit -> ());
+                Array.of_list (List.rev !acc))
               slices)
       in
       Array.to_list (Array.concat (Array.to_list per_slice))

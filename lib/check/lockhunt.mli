@@ -25,6 +25,8 @@ module Make (P : Asyncolor_kernel.Protocol.S) : sig
   val hunt :
     ?max_steps:int ->
     ?jobs:int ->
+    ?budget:Asyncolor_resilience.Budget.t ->
+    ?stop:(unit -> bool) ->
     Asyncolor_topology.Graph.t ->
     idents:int array ->
     finding list
@@ -35,7 +37,12 @@ module Make (P : Asyncolor_kernel.Protocol.S) : sig
       domains ({!Asyncolor_util.Domain_pool}).  Probes share no mutable
       state, so the findings are identical for every [jobs] value and
       come back in edge order regardless.  [jobs] defaults to [1]
-      (sequential, no domain spawned). *)
+      (sequential, no domain spawned).
+
+      [budget] and [stop] are polled between probes: when either fires
+      the hunt returns the findings gathered so far instead of raising —
+      a result shorter than the edge list means the hunt was cut short
+      (each parallel slice keeps the prefix it had probed). *)
 
   val locked : finding list -> (int * int) list
   (** The pairs that locked. *)

@@ -277,6 +277,8 @@ module Make (P : Protocol.S) = struct
     { kdata; khash = hash_ints kdata }
 
   let key_hash k = k.khash
+  let key_data k = k.kdata
+  let key_of_data kdata = { kdata; khash = hash_ints kdata }
 
   let key_equal a b =
     a.khash = b.khash

@@ -146,6 +146,15 @@ module Make (P : Protocol.S) : sig
   val key_hash : key -> int
   val key_equal : key -> key -> bool
 
+  val key_data : key -> int array
+  (** The packed payload of a key.  [key_of_data (key_data k)] is equal
+      (and equi-hashed) to [k] — the round-trip the explorer's checkpoint
+      format relies on to persist its intern table as flat int arrays. *)
+
+  val key_of_data : int array -> key
+  (** Rebuild a key from {!key_data} output (the hash is recomputed, so a
+      checkpoint never has to trust a stored hash). *)
+
   module Key_tbl : Hashtbl.S with type key = key
   (** Hash table over packed keys — the hash-consed configuration store
       of {!Asyncolor_check.Explorer}. *)

@@ -1,0 +1,43 @@
+type t = {
+  started : float;
+  time_s : float option;
+  mem_words : int option;
+  mutable tripped : bool;
+}
+
+let create ?time_s ?mem_words () =
+  { started = Unix.gettimeofday (); time_s; mem_words; tripped = false }
+
+let mem_words_of_mb mb = mb * 1024 * 1024 / (Sys.word_size / 8)
+
+let exceeded t =
+  t.tripped
+  ||
+  let hit =
+    (match t.time_s with
+    (* inclusive, so [time_s:0.] means "no time at all" even when the
+       clock has not advanced between [create] and the first poll *)
+    | Some limit -> Unix.gettimeofday () -. t.started >= limit
+    | None -> false)
+    ||
+    match t.mem_words with
+    | Some limit -> (Gc.quick_stat ()).Gc.heap_words > limit
+    | None -> false
+  in
+  if hit then t.tripped <- true;
+  hit
+
+let describe t =
+  let elapsed = Unix.gettimeofday () -. t.started in
+  let time =
+    match t.time_s with
+    | Some limit -> Printf.sprintf "time %.1fs/%.1fs" elapsed limit
+    | None -> Printf.sprintf "time %.1fs/unlimited" elapsed
+  in
+  let mem =
+    let words = (Gc.quick_stat ()).Gc.heap_words in
+    match t.mem_words with
+    | Some limit -> Printf.sprintf "heap %dw/%dw" words limit
+    | None -> Printf.sprintf "heap %dw/unlimited" words
+  in
+  time ^ ", " ^ mem

@@ -1,0 +1,31 @@
+(** Resource budgets for long-running verification.
+
+    A budget caps a run by wall clock and/or by major-heap size, so a deep
+    exploration degrades to a clean truncated report instead of running
+    into the scheduler's wall-time kill or the kernel's OOM killer.  The
+    explorer and the lock hunter poll {!exceeded} at their loop
+    boundaries; crossing either limit is sticky — once a budget reports
+    exceeded it stays exceeded, so a poll race can never un-truncate a
+    run.
+
+    The memory limit is measured as [Gc.quick_stat ().heap_words] — the
+    major heap's footprint, garbage included.  That is deliberately
+    conservative: it is the number the OOM killer sees, not the live set,
+    and reading it costs a few nanoseconds (no heap walk), so polling
+    every loop iteration is free. *)
+
+type t
+
+val create : ?time_s:float -> ?mem_words:int -> unit -> t
+(** [create ~time_s ~mem_words ()] starts the clock now.  Omitted limits
+    are unlimited; [create ()] never trips. *)
+
+val mem_words_of_mb : int -> int
+(** Convert a megabyte limit to heap words for {!create}. *)
+
+val exceeded : t -> bool
+(** True once wall clock or heap words crossed a limit (sticky). *)
+
+val describe : t -> string
+(** Human-readable account of the limits and current consumption, e.g.
+    for a truncation diagnostic. *)

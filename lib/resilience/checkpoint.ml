@@ -1,0 +1,82 @@
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+(* 16 bytes, padded so the header fields below sit at fixed offsets. *)
+let magic = "asyncolor-ckpt\x00\x00"
+let container_format = 1
+
+let write_be32 oc v =
+  output_byte oc ((v lsr 24) land 0xff);
+  output_byte oc ((v lsr 16) land 0xff);
+  output_byte oc ((v lsr 8) land 0xff);
+  output_byte oc (v land 0xff)
+
+let write_be64 oc v =
+  write_be32 oc ((v lsr 32) land 0xffffffff);
+  write_be32 oc (v land 0xffffffff)
+
+let read_exactly ic n what =
+  let b = Bytes.create n in
+  (try really_input ic b 0 n
+   with End_of_file -> corrupt "truncated file while reading %s" what);
+  b
+
+let read_be32 ic what =
+  let b = read_exactly ic 4 what in
+  (Char.code (Bytes.get b 0) lsl 24)
+  lor (Char.code (Bytes.get b 1) lsl 16)
+  lor (Char.code (Bytes.get b 2) lsl 8)
+  lor Char.code (Bytes.get b 3)
+
+let read_be64 ic what =
+  let hi = read_be32 ic what in
+  let lo = read_be32 ic what in
+  (hi lsl 32) lor lo
+
+let save ~path ~version v =
+  let payload = Marshal.to_bytes v [] in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc magic;
+      write_be32 oc container_format;
+      write_be32 oc version;
+      write_be64 oc (Bytes.length payload);
+      Digest.output oc (Digest.bytes payload);
+      output_bytes oc payload;
+      flush oc;
+      (* fsync before rename: the rename must never become durable ahead of
+         the data it points at *)
+      Unix.fsync (Unix.descr_of_out_channel oc));
+  Sys.rename tmp path
+
+let load ~path ~version =
+  let ic =
+    try open_in_bin path
+    with Sys_error msg -> corrupt "cannot open checkpoint: %s" msg
+  in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let m = Bytes.to_string (read_exactly ic (String.length magic) "magic") in
+      if m <> magic then corrupt "bad magic: not an asyncolor checkpoint";
+      let fmt = read_be32 ic "container format" in
+      if fmt <> container_format then
+        corrupt "container format %d (this build reads %d)" fmt container_format;
+      let ver = read_be32 ic "payload version" in
+      if ver <> version then
+        corrupt "payload version %d, expected %d (stale checkpoint?)" ver version;
+      let len = read_be64 ic "payload length" in
+      if len < 0 then corrupt "negative payload length";
+      let digest =
+        try Digest.input ic with End_of_file -> corrupt "truncated digest"
+      in
+      let payload = read_exactly ic len "payload" in
+      if Digest.bytes payload <> digest then
+        corrupt "digest mismatch: payload corrupted";
+      match Marshal.from_bytes payload 0 with
+      | v -> v
+      | exception _ -> corrupt "payload does not unmarshal")

@@ -1,0 +1,45 @@
+(** Versioned, checksummed on-disk snapshots — the persistence substrate of
+    the resilience layer.
+
+    A checkpoint file is a self-validating container:
+
+    {v
+    offset  size  field
+    0       16    magic "asyncolor-ckpt\x00\x00"
+    16      4     container format (big-endian; this module's own layout)
+    20      4     payload schema version (big-endian; caller-declared)
+    24      8     payload length in bytes (big-endian)
+    32      16    MD5 digest of the payload bytes
+    48      —     payload ([Marshal]-encoded caller value)
+    v}
+
+    {!save} is {e atomic}: the container is written to [path ^ ".tmp"],
+    flushed and fsynced, then renamed over [path] — a crash (including
+    SIGKILL) at any point leaves either the previous checkpoint or the new
+    one, never a torn file.  {!load} re-verifies magic, versions, length
+    and digest before unmarshalling, so a corrupt or truncated file
+    surfaces as {!Corrupt}, not as a segfault or a garbage value.
+
+    {b Versioning rules.}  The payload is serialised with [Marshal], so its
+    schema is the OCaml type of the saved value.  Callers must bump their
+    [version] whenever that type (or the meaning of any field) changes;
+    {!load} rejects any version other than the one expected, which turns a
+    stale checkpoint into a clean error instead of a misinterpreted
+    resume.  The payload must be pure data — no functions, no custom
+    blocks — which also makes the digest deterministic for a given value.
+
+    Type safety across [save]/[load] is the caller's: load a file only
+    with the type it was saved at (the explorer guards this with a
+    protocol-name fingerprint inside its payload). *)
+
+exception Corrupt of string
+(** The file is unreadable, truncated, fails its digest, or carries an
+    unexpected magic/version.  The message says which check failed. *)
+
+val save : path:string -> version:int -> 'a -> unit
+(** [save ~path ~version v] marshals [v] and atomically replaces [path]
+    (write to [path ^ ".tmp"], fsync, rename). *)
+
+val load : path:string -> version:int -> 'a
+(** [load ~path ~version] validates the container and returns the payload.
+    @raise Corrupt on any validation failure (missing file included). *)

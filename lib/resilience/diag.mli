@@ -1,0 +1,22 @@
+(** Line-atomic diagnostics for parallel runs.
+
+    Worker domains that print progress through bare [Printf.eprintf] can
+    interleave {e partial} lines: stderr is unbuffered per call, and one
+    logical line often spans several writes.  This module formats each
+    message to a complete string first and emits it with a single
+    mutex-guarded write + flush, so concurrent domains can at worst
+    interleave whole lines, never fragments.
+
+    Diagnostics are out-of-band by construction: they go to stderr (or the
+    channel set by {!set_channel}), keeping stdout byte-diffable across
+    [--jobs] values. *)
+
+val printf : ('a, unit, string, unit) format4 -> 'a
+(** Format, then emit the result as one atomic write.  Terminate your
+    format with ["\n"]; the module does not add one. *)
+
+val emit : string -> unit
+(** Emit a pre-formatted string as one atomic write + flush. *)
+
+val set_channel : out_channel -> unit
+(** Redirect diagnostics (tests).  Default: [stderr]. *)

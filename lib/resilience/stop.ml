@@ -1,0 +1,25 @@
+let flag = Atomic.make false
+
+let requested () = Atomic.get flag
+let request () = Atomic.set flag true
+let reset () = Atomic.set flag false
+
+let with_signals f =
+  let handler = Sys.Signal_handle (fun _ -> request ()) in
+  let install signal =
+    (* Some sandboxes forbid changing handlers (e.g. SIGTERM under seccomp
+       filters); degrade to "no handler swapped" rather than failing. *)
+    try Some (Sys.signal signal handler) with Sys_error _ | Invalid_argument _ -> None
+  in
+  let restore signal = function
+    | Some old -> ( try Sys.set_signal signal old with Sys_error _ -> ())
+    | None -> ()
+  in
+  let old_int = install Sys.sigint in
+  let old_term = install Sys.sigterm in
+  Fun.protect
+    ~finally:(fun () ->
+      restore Sys.sigint old_int;
+      restore Sys.sigterm old_term;
+      reset ())
+    f

@@ -2,13 +2,33 @@
    queue.  One batch (a [map] call) is in flight at a time; its items are
    drained by the worker domains *and* the calling domain, so a pool of
    [jobs] runs [jobs] items concurrently with only [jobs - 1] spawned
-   domains, and [jobs = 1] degenerates to a plain sequential loop. *)
+   domains, and [jobs = 1] degenerates to a plain sequential loop.
+
+   Failure isolation: an item that raises is retried up to [retries]
+   times; once its error is final the batch is cancelled — no further
+   items are handed out ([next_item]/[drain] short-circuit on [failed]) —
+   and the in-flight items are merely awaited, so one poisoned item costs
+   at most [jobs] item executions beyond itself instead of the whole
+   remaining batch.  The recorded error keeps the lowest failing index:
+   items are handed out in index order, so the overall lowest failing
+   index is always dispatched (and hence recorded) before cancellation
+   can skip it — failures stay deterministic whatever the domain
+   scheduling. *)
+
+type item_error = {
+  index : int;  (* input index whose execution failed *)
+  attempts : int;  (* executions performed, retries included *)
+  error : exn;
+  backtrace : Printexc.raw_backtrace;
+}
 
 type batch = {
-  run_item : int -> unit;  (* never raises; exceptions are recorded *)
+  run_item : int -> unit;  (* never raises; errors are recorded *)
   total : int;
   mutable next : int;  (* next item index to hand out *)
+  mutable active : int;  (* items handed out and still executing *)
   mutable finished : int;  (* items fully executed *)
+  mutable failed : bool;  (* a final error was recorded: stop dispensing *)
 }
 
 type t = {
@@ -24,6 +44,10 @@ type t = {
 let default_jobs () = Domain.recommended_domain_count ()
 let jobs t = t.jobs
 
+(* A batch is complete when nothing more will run: every item ran, or the
+   batch failed and the in-flight items have landed. *)
+let batch_complete b = b.active = 0 && (b.failed || b.next >= b.total)
+
 (* Grab the next item index of the current batch, or block until work
    arrives.  Called with [t.mutex] held; returns with it released. *)
 let rec next_item t =
@@ -33,9 +57,10 @@ let rec next_item t =
   end
   else
     match t.batch with
-    | Some b when b.next < b.total ->
+    | Some b when (not b.failed) && b.next < b.total ->
         let i = b.next in
         b.next <- i + 1;
+        b.active <- b.active + 1;
         Mutex.unlock t.mutex;
         Some (b, i)
     | _ ->
@@ -44,8 +69,9 @@ let rec next_item t =
 
 let finish_item t b =
   Mutex.lock t.mutex;
+  b.active <- b.active - 1;
   b.finished <- b.finished + 1;
-  if b.finished = b.total then Condition.broadcast t.batch_done;
+  if batch_complete b then Condition.broadcast t.batch_done;
   Mutex.unlock t.mutex
 
 let rec worker t =
@@ -81,27 +107,34 @@ let shutdown t =
   List.iter Domain.join t.domains;
   t.domains <- []
 
-let map t f input =
+let map_result t ?(retries = 0) f input =
   let total = Array.length input in
-  if total = 0 then [||]
+  if total = 0 then Ok [||]
   else begin
     let results = Array.make total None in
-    (* first (lowest-index) exception wins, so failures are deterministic
+    (* first (lowest-index) final error wins, so failures are deterministic
        regardless of which domain hit them *)
     let error = ref None in
-    let record_error i exn bt =
+    let rec batch =
+      { run_item; total; next = 0; active = 0; finished = 0; failed = false }
+    and record_error e =
       Mutex.lock t.mutex;
       (match !error with
-      | Some (j, _, _) when j <= i -> ()
-      | _ -> error := Some (i, exn, bt));
+      | Some prev when prev.index <= e.index -> ()
+      | _ -> error := Some e);
+      batch.failed <- true;
       Mutex.unlock t.mutex
+    and run_item i =
+      let rec attempt k =
+        match f input.(i) with
+        | v -> results.(i) <- Some v
+        | exception exn ->
+            let backtrace = Printexc.get_raw_backtrace () in
+            if k <= retries then attempt (k + 1)
+            else record_error { index = i; attempts = k; error = exn; backtrace }
+      in
+      attempt 1
     in
-    let run_item i =
-      match f input.(i) with
-      | v -> results.(i) <- Some v
-      | exception exn -> record_error i exn (Printexc.get_raw_backtrace ())
-    in
-    let b = { run_item; total; next = 0; finished = 0 } in
     Mutex.lock t.mutex;
     if t.stopping then begin
       Mutex.unlock t.mutex;
@@ -111,34 +144,42 @@ let map t f input =
       Mutex.unlock t.mutex;
       invalid_arg "Domain_pool.map: pool already has a batch in flight"
     end;
-    t.batch <- Some b;
+    t.batch <- Some batch;
     Condition.broadcast t.work_available;
     (* the calling domain drains items alongside the workers *)
     let rec drain () =
-      if b.next < b.total then begin
-        let i = b.next in
-        b.next <- i + 1;
+      if (not batch.failed) && batch.next < batch.total then begin
+        let i = batch.next in
+        batch.next <- i + 1;
+        batch.active <- batch.active + 1;
         Mutex.unlock t.mutex;
-        b.run_item i;
+        batch.run_item i;
         Mutex.lock t.mutex;
-        b.finished <- b.finished + 1;
-        if b.finished = b.total then Condition.broadcast t.batch_done;
+        batch.active <- batch.active - 1;
+        batch.finished <- batch.finished + 1;
+        if batch_complete batch then Condition.broadcast t.batch_done;
         drain ()
       end
     in
     drain ();
-    while b.finished < b.total do
+    while not (batch_complete batch) do
       Condition.wait t.batch_done t.mutex
     done;
     t.batch <- None;
     Mutex.unlock t.mutex;
     match !error with
-    | Some (_, exn, bt) -> Printexc.raise_with_backtrace exn bt
+    | Some e -> Error e
     | None ->
-        Array.map
-          (function Some v -> v | None -> assert false (* every item ran *))
-          results
+        Ok
+          (Array.map
+             (function Some v -> v | None -> assert false (* every item ran *))
+             results)
   end
+
+let map t ?retries f input =
+  match map_result t ?retries f input with
+  | Ok out -> out
+  | Error e -> Printexc.raise_with_backtrace e.error e.backtrace
 
 let map_list t f input = Array.to_list (map t f (Array.of_list input))
 

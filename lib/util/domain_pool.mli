@@ -12,9 +12,26 @@
     draining the batch, so [create ~jobs:n] spawns only [n - 1] domains
     and [jobs = 1] executes sequentially on the caller with no domain
     spawned at all.  Nested or concurrent [map] calls on the same pool
-    raise [Invalid_argument]. *)
+    raise [Invalid_argument].
+
+    {b Failure isolation.}  An item that raises is retried up to
+    [retries] times (default 0).  Once an item's error is final the batch
+    is {e cancelled}: no further items are handed out, only the at most
+    [jobs] in-flight items are awaited — one poisoned item no longer pays
+    for the whole remaining batch.  Because items are handed out in index
+    order, the overall lowest failing index is always dispatched before
+    cancellation can skip anything below it, so the reported failure is
+    deterministic regardless of domain scheduling.  The pool itself stays
+    usable after a failed batch. *)
 
 type t
+
+type item_error = {
+  index : int;  (** input index whose execution failed *)
+  attempts : int;  (** executions performed, retries included *)
+  error : exn;  (** the exception of the final attempt *)
+  backtrace : Printexc.raw_backtrace;  (** backtrace of the final attempt *)
+}
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
@@ -26,19 +43,24 @@ val create : ?jobs:int -> unit -> t
 
 val jobs : t -> int
 
-val map : t -> ('a -> 'b) -> 'a array -> 'b array
+val map : t -> ?retries:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Parallel [Array.map] with deterministic result order: output index
-    [i] always holds [f input.(i)].  If any [f] raises, the whole batch
-    still drains, then the exception of the {e lowest} failing index is
-    re-raised (with its backtrace) — deterministic regardless of domain
-    scheduling. *)
+    [i] always holds [f input.(i)].  On failure the batch is cancelled
+    (see above) and the {e lowest}-index final error is re-raised with
+    its backtrace.  [retries] re-runs a failing item that many extra
+    times before its error becomes final. *)
+
+val map_result :
+  t -> ?retries:int -> ('a -> 'b) -> 'a array -> ('b array, item_error) result
+(** Like {!map} but returns the lowest-index final error — index, attempt
+    count, exception and backtrace — instead of raising. *)
 
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 (** {!map} over lists, preserving order. *)
 
 val shutdown : t -> unit
-(** Stop and join the worker domains.  Subsequent {!map} calls raise
-    [Invalid_argument]. *)
+(** Stop and join the worker domains.  Safe to call while or after a
+    batch has failed.  Subsequent {!map} calls raise [Invalid_argument]. *)
 
 val with_pool : ?jobs:int -> (t -> 'a) -> 'a
 (** [with_pool f] runs [f] with a fresh pool and always shuts it down,

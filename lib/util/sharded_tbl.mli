@@ -34,4 +34,9 @@ module Make (H : Hashtbl.HashedType) : sig
 
   val length : 'a t -> int
   (** Total bindings over all shards. *)
+
+  val iter : (H.t -> 'a -> unit) -> 'a t -> unit
+  (** Iterate every binding, shard by shard, in unspecified order (the
+      explorer's checkpoint writer re-indexes by value, so the order does
+      not leak into any output).  Single-domain use only. *)
 end

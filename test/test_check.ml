@@ -285,6 +285,184 @@ let test_differential_safety_and_truncation () =
   diff_report (module Three) ~max_configs:10 ~mode:`All_subsets g ~idents:[| 0; 1; 2 |]
     ()
 
+(* --- crash safety: checkpoints, resume, budgets ------------------------ *)
+
+module Budget = Asyncolor_resilience.Budget
+module Checkpoint = Asyncolor_resilience.Checkpoint
+
+let with_temp_ckpt f =
+  let path = Filename.temp_file "asyncolor-explorer" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+module E3 = Explorer.Make (Three)
+
+let report3 = Alcotest.testable E3.pp_report ( = )
+let baseline3 () = E3.explore g3 ~idents:[| 0; 1; 2 |]
+
+let test_resume_identical_at_every_cut () =
+  (* The central resume property: interrupt the exploration after [cut]
+     interned configurations — at *every* possible cut of the 64-config
+     graph — checkpointing at every boundary, then resume; the final
+     report must equal the uninterrupted one, whatever the degree of
+     parallelism on the resuming side. *)
+  let baseline = baseline3 () in
+  with_temp_ckpt (fun path ->
+      for cut = 1 to 63 do
+        let truncated =
+          E3.explore ~checkpoint:(path, 1)
+            ~stop:(fun ~configs -> configs >= cut)
+            g3 ~idents:[| 0; 1; 2 |]
+        in
+        check Alcotest.bool
+          (Printf.sprintf "cut %d: stop fired at the threshold" cut)
+          true
+          (truncated.configs >= cut);
+        List.iter
+          (fun jobs ->
+            check report3
+              (Printf.sprintf "cut %d resumed with jobs=%d = uninterrupted"
+                 cut jobs)
+              baseline
+              (E3.explore_resume ~jobs path))
+          [ 1; 2; 4 ]
+      done)
+
+let test_resume_after_parallel_interrupt () =
+  (* Interrupt a jobs=4 run (checkpoint boundaries are BFS levels there),
+     resume sequentially and in parallel: same report. *)
+  let baseline = baseline3 () in
+  with_temp_ckpt (fun path ->
+      List.iter
+        (fun cut ->
+          ignore
+            (E3.explore ~jobs:4 ~checkpoint:(path, 1)
+               ~stop:(fun ~configs -> configs >= cut)
+               g3 ~idents:[| 0; 1; 2 |]);
+          check report3
+            (Printf.sprintf "parallel cut %d, sequential resume" cut)
+            baseline (E3.explore_resume path);
+          check report3
+            (Printf.sprintf "parallel cut %d, parallel resume" cut)
+            baseline
+            (E3.explore_resume ~jobs:4 path))
+        [ 5; 20; 45 ])
+
+let test_resume_chained () =
+  (* A resumed run can itself checkpoint and be interrupted again. *)
+  let baseline = baseline3 () in
+  with_temp_ckpt (fun path ->
+      ignore
+        (E3.explore ~checkpoint:(path, 1)
+           ~stop:(fun ~configs -> configs >= 15)
+           g3 ~idents:[| 0; 1; 2 |]);
+      ignore
+        (E3.explore_resume ~checkpoint:(path, 1)
+           ~stop:(fun ~configs -> configs >= 40)
+           path);
+      check report3 "two interruptions deep" baseline (E3.explore_resume path))
+
+let test_resume_safety_checks_continue () =
+  (* Safety predicates cannot be serialised; re-supplying them on resume
+     must reproduce the uninterrupted violation list, ids included. *)
+  let module EG = Explorer.Make (Asyncolor_shm.Mis.Greedy.P) in
+  let check_outputs outs =
+    if Asyncolor_shm.Mis.valid g3 outs then None else Some "MIS violated"
+  in
+  let report = Alcotest.testable EG.pp_report ( = ) in
+  let baseline = EG.explore g3 ~idents:[| 0; 1; 2 |] ~check_outputs in
+  with_temp_ckpt (fun path ->
+      List.iter
+        (fun cut ->
+          ignore
+            (EG.explore ~checkpoint:(path, 1)
+               ~stop:(fun ~configs -> configs >= cut)
+               g3 ~idents:[| 0; 1; 2 |] ~check_outputs);
+          let resumed = EG.explore_resume path ~check_outputs in
+          check report
+            (Printf.sprintf "cut %d: violations survive the resume" cut)
+            baseline resumed;
+          check Alcotest.bool "violations actually present" true
+            (resumed.safety <> []))
+        [ 3; 10; 30 ])
+
+let test_resume_info_describes_checkpoint () =
+  with_temp_ckpt (fun path ->
+      ignore
+        (E3.explore ~checkpoint:(path, 1)
+           ~stop:(fun ~configs -> configs >= 10)
+           g3 ~idents:[| 0; 1; 2 |]);
+      let info = E3.resume_info path in
+      check Alcotest.int "n" 3 (Asyncolor_topology.Graph.n info.ri_graph);
+      check Alcotest.(array int) "idents" [| 0; 1; 2 |] info.ri_idents;
+      check Alcotest.bool "progress recorded" true (info.ri_configs >= 10);
+      check Alcotest.bool "work left" true (info.ri_pending > 0))
+
+let test_resume_rejects_other_protocol () =
+  (* A checkpoint carries its protocol's name; resuming it under another
+     protocol functor must fail cleanly, not misinterpret the payload. *)
+  with_temp_ckpt (fun path ->
+      ignore
+        (E3.explore ~checkpoint:(path, 1)
+           ~stop:(fun ~configs -> configs >= 10)
+           g3 ~idents:[| 0; 1; 2 |]);
+      let module EF = Explorer.Make (Forever) in
+      match EF.explore_resume path with
+      | _ -> Alcotest.fail "expected Corrupt"
+      | exception Checkpoint.Corrupt _ -> ())
+
+let test_budget_truncates_cleanly () =
+  (* An already-exhausted wall budget must yield a well-formed truncated
+     report — complete=false, the -1 sentinel — and no exception, for
+     both builders. *)
+  List.iter
+    (fun jobs ->
+      let r =
+        E3.explore ~jobs
+          ~budget:(Budget.create ~time_s:0.0 ())
+          g3 ~idents:[| 0; 1; 2 |]
+      in
+      check Alcotest.bool "incomplete" false r.complete;
+      check Alcotest.int "sentinel" (-1) r.worst_case_activations;
+      check Alcotest.bool "root interned" true (r.configs >= 1))
+    [ 1; 4 ]
+
+let test_stop_callback_equivalent_to_max_configs_contract () =
+  (* Stopping via the callback and truncating via max_configs both leave
+     a usable report over a prefix of the same BFS order. *)
+  let stopped =
+    E3.explore ~stop:(fun ~configs -> configs >= 10) g3 ~idents:[| 0; 1; 2 |]
+  in
+  check Alcotest.bool "incomplete" false stopped.complete;
+  check Alcotest.bool "prefix explored" true
+    (stopped.configs >= 10 && stopped.configs < 64)
+
+let test_reference_rejects_crash_options () =
+  Alcotest.check_raises "reference oracle has no checkpoint support"
+    (Invalid_argument
+       "Explorer.explore: the `Reference oracle supports neither checkpoints, \
+        budgets nor stop callbacks (use `Hashcons)") (fun () ->
+      ignore
+        (E3.explore ~impl:`Reference
+           ~stop:(fun ~configs:_ -> false)
+           g3 ~idents:[| 0; 1; 2 |]))
+
+let test_lockhunt_budget_truncates () =
+  let module H = Asyncolor_check.Lockhunt.Make (Asyncolor.Algorithm2.P) in
+  let g = Builders.cycle 16 in
+  let idents = Asyncolor_workload.Idents.increasing 16 in
+  let all = H.hunt g ~idents in
+  check Alcotest.int "16 edges probed" 16 (List.length all);
+  let cut = H.hunt ~budget:(Budget.create ~time_s:0.0 ()) g ~idents in
+  check Alcotest.(list (pair int int)) "exhausted budget probes nothing" []
+    (H.locked cut);
+  check Alcotest.int "no probes ran" 0 (List.length cut);
+  let n = ref 0 in
+  let some = H.hunt ~stop:(fun () -> incr n; !n > 5) g ~idents in
+  check Alcotest.bool "stop callback cuts the hunt short" true
+    (List.length some < 16 && List.length some > 0)
+
 (* --- lockhunt ---------------------------------------------------------- *)
 
 let test_lockhunt_alg1_immune () =
@@ -413,5 +591,27 @@ let () =
           Alcotest.test_case "alg2 on K4 (E16)" `Quick test_differential_e16_k4;
           Alcotest.test_case "safety schedules & truncation" `Quick
             test_differential_safety_and_truncation;
+        ] );
+      ( "crash-safety",
+        [
+          Alcotest.test_case "resume identical at every cut" `Quick
+            test_resume_identical_at_every_cut;
+          Alcotest.test_case "resume after parallel interrupt" `Quick
+            test_resume_after_parallel_interrupt;
+          Alcotest.test_case "chained interruptions" `Quick test_resume_chained;
+          Alcotest.test_case "safety checks survive resume" `Quick
+            test_resume_safety_checks_continue;
+          Alcotest.test_case "resume_info metadata" `Quick
+            test_resume_info_describes_checkpoint;
+          Alcotest.test_case "protocol mismatch rejected" `Quick
+            test_resume_rejects_other_protocol;
+          Alcotest.test_case "budget truncates cleanly" `Quick
+            test_budget_truncates_cleanly;
+          Alcotest.test_case "stop callback contract" `Quick
+            test_stop_callback_equivalent_to_max_configs_contract;
+          Alcotest.test_case "reference rejects crash options" `Quick
+            test_reference_rejects_crash_options;
+          Alcotest.test_case "lockhunt budget/stop truncation" `Quick
+            test_lockhunt_budget_truncates;
         ] );
     ]

@@ -1,0 +1,223 @@
+(* Tests for the resilience layer: checkpoint container round-trips and
+   rejection of damaged files, resource budgets, cooperative stop, and
+   line-atomic diagnostics. *)
+
+module Checkpoint = Asyncolor_resilience.Checkpoint
+module Budget = Asyncolor_resilience.Budget
+module Stop = Asyncolor_resilience.Stop
+module Diag = Asyncolor_resilience.Diag
+
+let check = Alcotest.check
+let qtest t = QCheck_alcotest.to_alcotest t
+
+let with_temp f =
+  let path = Filename.temp_file "asyncolor-ckpt" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+(* --- Checkpoint ----------------------------------------------------- *)
+
+type payload = {
+  ints : int array;
+  name : string;
+  pairs : (int * int) list;
+}
+
+let prop_checkpoint_roundtrip =
+  QCheck.Test.make ~name:"checkpoint save/load round-trip"
+    QCheck.(triple (array small_int) string (list (pair small_int small_int)))
+    (fun (ints, name, pairs) ->
+      with_temp (fun path ->
+          let v = { ints; name; pairs } in
+          Checkpoint.save ~path ~version:7 v;
+          let (v' : payload) = Checkpoint.load ~path ~version:7 in
+          v' = v))
+
+let expect_corrupt what f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Corrupt" what
+  | exception Checkpoint.Corrupt _ -> ()
+
+let test_checkpoint_version_mismatch () =
+  with_temp (fun path ->
+      Checkpoint.save ~path ~version:1 [| 1; 2; 3 |];
+      expect_corrupt "version bumped" (fun () ->
+          (Checkpoint.load ~path ~version:2 : int array)))
+
+let test_checkpoint_bad_magic () =
+  with_temp (fun path ->
+      Checkpoint.save ~path ~version:1 "hello";
+      let oc = open_out_gen [ Open_wronly; Open_binary ] 0o644 path in
+      output_string oc "X";
+      close_out oc;
+      expect_corrupt "magic flipped" (fun () ->
+          (Checkpoint.load ~path ~version:1 : string)))
+
+let test_checkpoint_payload_corruption () =
+  with_temp (fun path ->
+      Checkpoint.save ~path ~version:1 (Array.init 64 Fun.id);
+      (* flip one byte of the payload (past the 48-byte header) *)
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let all = really_input_string ic len in
+      close_in ic;
+      let b = Bytes.of_string all in
+      Bytes.set b (48 + ((len - 48) / 2))
+        (Char.chr (Char.code (Bytes.get b (48 + ((len - 48) / 2))) lxor 0xff));
+      let oc = open_out_bin path in
+      output_bytes oc b;
+      close_out oc;
+      expect_corrupt "digest must fail" (fun () ->
+          (Checkpoint.load ~path ~version:1 : int array)))
+
+let test_checkpoint_truncation () =
+  with_temp (fun path ->
+      Checkpoint.save ~path ~version:1 (String.make 1000 'x');
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let keep = really_input_string ic (len - 17) in
+      close_in ic;
+      let oc = open_out_bin path in
+      output_string oc keep;
+      close_out oc;
+      expect_corrupt "truncated payload" (fun () ->
+          (Checkpoint.load ~path ~version:1 : string)));
+  expect_corrupt "missing file" (fun () ->
+      (Checkpoint.load ~path:"/nonexistent/ckpt.bin" ~version:1 : int))
+
+let test_checkpoint_overwrite_atomic () =
+  with_temp (fun path ->
+      Checkpoint.save ~path ~version:1 "first";
+      Checkpoint.save ~path ~version:1 "second";
+      check Alcotest.string "last write wins"
+        "second"
+        (Checkpoint.load ~path ~version:1);
+      check Alcotest.bool "no temp file left behind" false
+        (Sys.file_exists (path ^ ".tmp")))
+
+(* --- Budget --------------------------------------------------------- *)
+
+let test_budget_unlimited () =
+  let b = Budget.create () in
+  check Alcotest.bool "no limits never trips" false (Budget.exceeded b)
+
+let test_budget_time_zero () =
+  let b = Budget.create ~time_s:0.0 () in
+  check Alcotest.bool "zero wall budget trips at once" true (Budget.exceeded b)
+
+let test_budget_mem_tiny_and_sticky () =
+  let b = Budget.create ~mem_words:1 () in
+  check Alcotest.bool "one-word heap budget trips" true (Budget.exceeded b);
+  check Alcotest.bool "stays tripped" true (Budget.exceeded b)
+
+let test_budget_generous () =
+  let b = Budget.create ~time_s:3600.0 ~mem_words:max_int () in
+  check Alcotest.bool "generous budget does not trip" false (Budget.exceeded b);
+  check Alcotest.bool "describe says something" true
+    (String.length (Budget.describe b) > 0)
+
+let test_budget_mem_words_of_mb () =
+  let words = Budget.mem_words_of_mb 1 in
+  check Alcotest.int "1 MB in words" (1024 * 1024 / (Sys.word_size / 8)) words
+
+(* --- Stop ----------------------------------------------------------- *)
+
+let test_stop_flag () =
+  Stop.reset ();
+  check Alcotest.bool "initially clear" false (Stop.requested ());
+  Stop.request ();
+  check Alcotest.bool "set after request" true (Stop.requested ());
+  Stop.reset ();
+  check Alcotest.bool "clear after reset" false (Stop.requested ())
+
+let test_stop_with_signals () =
+  let inside =
+    Stop.with_signals (fun () ->
+        Unix.kill (Unix.getpid ()) Sys.sigterm;
+        (* the handler runs on the main domain at a safe point; give the
+           runtime one *)
+        ignore (Sys.opaque_identity (ref 0));
+        Stop.requested ())
+  in
+  check Alcotest.bool "SIGTERM sets the flag inside the scope" true inside;
+  check Alcotest.bool "flag cleared when the scope exits" false
+    (Stop.requested ())
+
+(* --- Diag ----------------------------------------------------------- *)
+
+let test_diag_line_atomicity () =
+  let path = Filename.temp_file "asyncolor-diag" ".log" in
+  let oc = open_out path in
+  Diag.set_channel oc;
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to 199 do
+              Diag.printf "domain=%d line=%d suffix=%s\n" d i
+                (String.make 30 (Char.chr (Char.code 'a' + d)))
+            done))
+  in
+  List.iter Domain.join domains;
+  Diag.set_channel stderr;
+  close_out oc;
+  let ic = open_in path in
+  let lines = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lines;
+       (* every line must be exactly one complete message — no fragments,
+          no splices of two writers *)
+       match String.split_on_char ' ' line with
+       | [ d; i; s ] ->
+           let dv = Scanf.sscanf d "domain=%d" Fun.id in
+           ignore (Scanf.sscanf i "line=%d" Fun.id);
+           let expect =
+             "suffix=" ^ String.make 30 (Char.chr (Char.code 'a' + dv))
+           in
+           if s <> expect then Alcotest.failf "spliced line: %s" line
+       | _ -> Alcotest.failf "malformed line: %s" line
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  check Alcotest.int "all 800 lines intact" 800 !lines
+
+let () =
+  Alcotest.run "resilience"
+    [
+      ( "checkpoint",
+        [
+          qtest prop_checkpoint_roundtrip;
+          Alcotest.test_case "version mismatch" `Quick
+            test_checkpoint_version_mismatch;
+          Alcotest.test_case "bad magic" `Quick test_checkpoint_bad_magic;
+          Alcotest.test_case "payload corruption" `Quick
+            test_checkpoint_payload_corruption;
+          Alcotest.test_case "truncation, missing file" `Quick
+            test_checkpoint_truncation;
+          Alcotest.test_case "atomic overwrite" `Quick
+            test_checkpoint_overwrite_atomic;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "unlimited" `Quick test_budget_unlimited;
+          Alcotest.test_case "time_s:0 trips" `Quick test_budget_time_zero;
+          Alcotest.test_case "tiny mem trips, sticky" `Quick
+            test_budget_mem_tiny_and_sticky;
+          Alcotest.test_case "generous never trips" `Quick test_budget_generous;
+          Alcotest.test_case "mem_words_of_mb" `Quick
+            test_budget_mem_words_of_mb;
+        ] );
+      ( "stop",
+        [
+          Alcotest.test_case "flag set/reset" `Quick test_stop_flag;
+          Alcotest.test_case "with_signals scope" `Quick test_stop_with_signals;
+        ] );
+      ( "diag",
+        [
+          Alcotest.test_case "line atomicity across domains" `Quick
+            test_diag_line_atomicity;
+        ] );
+    ]

@@ -263,6 +263,90 @@ let test_pool_empty_and_jobs_clamp () =
       Alcotest.(check (array int)) "empty input" [||] (Domain_pool.map pool Fun.id [||]));
   check Alcotest.bool "default_jobs positive" true (Domain_pool.default_jobs () >= 1)
 
+let test_pool_fail_fast_sequential () =
+  (* jobs = 1 drains strictly in index order, so fail-fast has a fully
+     deterministic witness: items after the failing one never execute. *)
+  let executed = Atomic.make 0 in
+  Domain_pool.with_pool ~jobs:1 (fun pool ->
+      match
+        Domain_pool.map_result pool
+          (fun x ->
+            Atomic.incr executed;
+            if x = 5 then raise (Boom x))
+          (Array.init 100 Fun.id)
+      with
+      | Ok _ -> Alcotest.fail "expected an error"
+      | Error e ->
+          check Alcotest.int "failing index" 5 e.Domain_pool.index;
+          check Alcotest.int "single attempt" 1 e.Domain_pool.attempts;
+          check Alcotest.int "items 0..5 executed, tail skipped" 6
+            (Atomic.get executed))
+
+let test_pool_fail_fast_parallel () =
+  (* With several domains the skipped tail is not exact, but cancellation
+     must still cut deep into a 200-item batch when item 10 dies at once
+     while every other item takes ~2ms. *)
+  let executed = Atomic.make 0 in
+  Domain_pool.with_pool ~jobs:4 (fun pool ->
+      match
+        Domain_pool.map_result pool
+          (fun x ->
+            Atomic.incr executed;
+            if x = 10 then raise (Boom x) else Unix.sleepf 0.002)
+          (Array.init 200 Fun.id)
+      with
+      | Ok _ -> Alcotest.fail "expected an error"
+      | Error e ->
+          check Alcotest.int "failing index" 10 e.Domain_pool.index;
+          check Alcotest.bool "most of the batch was cancelled" true
+            (Atomic.get executed < 100))
+
+let test_pool_retry_exhausted () =
+  Domain_pool.with_pool ~jobs:2 (fun pool ->
+      match
+        Domain_pool.map_result pool ~retries:3
+          (fun x -> if x = 1 then failwith "always" else x)
+          [| 0; 1; 2 |]
+      with
+      | Ok _ -> Alcotest.fail "expected an error"
+      | Error e ->
+          check Alcotest.int "failing index" 1 e.Domain_pool.index;
+          check Alcotest.int "1 attempt + 3 retries" 4 e.Domain_pool.attempts;
+          check Alcotest.bool "original exception kept" true
+            (match e.Domain_pool.error with Failure m -> m = "always" | _ -> false))
+
+let test_pool_retry_rescues_flaky () =
+  (* An item that fails twice then succeeds must not poison the batch when
+     retries cover the flakiness. *)
+  let attempts = Array.init 8 (fun _ -> Atomic.make 0) in
+  Domain_pool.with_pool ~jobs:4 (fun pool ->
+      let out =
+        Domain_pool.map pool ~retries:2
+          (fun x ->
+            let k = 1 + Atomic.fetch_and_add attempts.(x) 1 in
+            if x = 3 && k <= 2 then failwith "flaky" else x * 10)
+          (Array.init 8 Fun.id)
+      in
+      Alcotest.(check (array int)) "all items succeed"
+        (Array.init 8 (fun i -> i * 10))
+        out;
+      check Alcotest.int "flaky item ran 3 times" 3 (Atomic.get attempts.(3)))
+
+let test_pool_shutdown_after_failed_batch () =
+  (* with_pool's Fun.protect shuts the pool down while the failed batch's
+     error is propagating; this must terminate (no deadlocked worker
+     waiting on work_available) and surface the original exception. *)
+  for _ = 1 to 20 do
+    match
+      Domain_pool.with_pool ~jobs:4 (fun pool ->
+          Domain_pool.map pool
+            (fun x -> if x >= 2 then raise (Boom x) else x)
+            (Array.init 64 Fun.id))
+    with
+    | _ -> Alcotest.fail "expected Boom"
+    | exception Boom x -> check Alcotest.int "lowest index" 2 x
+  done
+
 (* --- Jsonout -------------------------------------------------------- *)
 
 module Jsonout = Asyncolor_util.Jsonout
@@ -344,6 +428,15 @@ let () =
             test_pool_usable_after_exception;
           Alcotest.test_case "empty input, many jobs" `Quick
             test_pool_empty_and_jobs_clamp;
+          Alcotest.test_case "fail-fast: sequential tail skipped" `Quick
+            test_pool_fail_fast_sequential;
+          Alcotest.test_case "fail-fast: parallel batch cancelled" `Quick
+            test_pool_fail_fast_parallel;
+          Alcotest.test_case "retries exhausted" `Quick test_pool_retry_exhausted;
+          Alcotest.test_case "retries rescue a flaky item" `Quick
+            test_pool_retry_rescues_flaky;
+          Alcotest.test_case "shutdown after failed batch" `Quick
+            test_pool_shutdown_after_failed_batch;
         ] );
       ( "jsonout",
         [
