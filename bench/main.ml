@@ -19,6 +19,9 @@
       --json output).
 
    Flags: --quick (reduced experiment sizes), --no-bench, --no-experiments,
+   --seed N (base offset added to every kernel's PRNG seed; default 0
+   keeps the historical workloads — the effective value is printed on
+   stderr so any run is reproducible),
    --csv DIR (also dump every experiment table as CSV into DIR),
    --json PATH (dump a machine-readable record of every experiment row and
    benchmark estimate to PATH), --jobs N (domains for the experiment fan-out;
@@ -39,6 +42,14 @@ module Table = Asyncolor_workload.Table
 
 (* --- benchmark kernels, one per experiment --------------------------- *)
 
+(* Base offset for every PRNG seed below, settable with --seed.  The
+   default of 0 keeps the historical seeds (1..12), so default output is
+   unchanged; any other value re-randomises every kernel reproducibly.
+   The effective value is announced on stderr (see main). *)
+let seed_base = ref 0
+
+let seed k = !seed_base + k
+
 let run_alg1 n =
   let idents = Idents.increasing n in
   fun () -> ignore (Asyncolor.Algorithm1.run_on_cycle ~idents Adversary.synchronous)
@@ -54,7 +65,7 @@ let run_alg3 n =
 let e2_palette_check () =
   let n = 32 in
   let graph = Builders.cycle n in
-  let idents = Idents.random_permutation (Prng.create ~seed:1) n in
+  let idents = Idents.random_permutation (Prng.create ~seed:(seed 1)) n in
   let r = Asyncolor.Algorithm1.run_on_cycle ~idents Adversary.synchronous in
   fun () ->
     ignore
@@ -81,16 +92,16 @@ let e7_mis_explore () =
 
 let e8_crash_run () =
   let n = 256 in
-  let idents = Idents.random_permutation (Prng.create ~seed:2) n in
+  let idents = Idents.random_permutation (Prng.create ~seed:(seed 2)) n in
   fun () ->
     let adv =
-      Adversary.random_crashes (Prng.create ~seed:3) ~n ~rate:0.3 ~horizon:10
-        (Adversary.random_subsets (Prng.create ~seed:4) ~p:0.7)
+      Adversary.random_crashes (Prng.create ~seed:(seed 3)) ~n ~rate:0.3 ~horizon:10
+        (Adversary.random_subsets (Prng.create ~seed:(seed 4)) ~p:0.7)
     in
     ignore (Asyncolor.Algorithm3.run_on_cycle ~max_steps:100_000 ~idents adv)
 
 let e9_cv_reduction () =
-  let prng = Prng.create ~seed:5 in
+  let prng = Prng.create ~seed:(seed 5) in
   let pairs =
     Array.init 4_096 (fun _ -> (Prng.int prng (1 lsl 50), Prng.int prng (1 lsl 50)))
   in
@@ -98,15 +109,15 @@ let e9_cv_reduction () =
 
 let e10_general () =
   let g = Builders.grid 8 8 in
-  let idents = Idents.random_permutation (Prng.create ~seed:6) 64 in
+  let idents = Idents.random_permutation (Prng.create ~seed:(seed 6)) 64 in
   fun () -> ignore (Asyncolor.Algorithm4.run g ~idents Adversary.synchronous)
 
 let e11_local_cv () =
-  let idents = Idents.random_permutation (Prng.create ~seed:7) 65_536 in
+  let idents = Idents.random_permutation (Prng.create ~seed:(seed 7)) 65_536 in
   fun () -> ignore (Asyncolor_local.Cole_vishkin_ring.three_color idents)
 
 let e12_renaming () =
-  let idents = Idents.random_sparse (Prng.create ~seed:8) ~n:16 ~universe:1_000 in
+  let idents = Idents.random_sparse (Prng.create ~seed:(seed 8)) ~n:16 ~universe:1_000 in
   fun () -> ignore (Asyncolor_shm.Renaming.run ~n:16 ~idents Adversary.synchronous)
 
 let e13_locked_stepping () =
@@ -122,7 +133,7 @@ let e13_locked_stepping () =
 
 let e14_decoupled () =
   let n = 4_096 in
-  let prng = Prng.create ~seed:9 in
+  let prng = Prng.create ~seed:(seed 9) in
   let universe = 4 * n in
   let idents = Idents.random_sparse prng ~n ~universe in
   fun () ->
@@ -131,12 +142,12 @@ let e14_decoupled () =
 
 let e15_linial () =
   let g = Builders.grid 8 8 in
-  let idents = Idents.random_permutation (Prng.create ~seed:10) 64 in
+  let idents = Idents.random_permutation (Prng.create ~seed:(seed 10)) 64 in
   fun () -> ignore (Asyncolor_local.Linial.color_delta_plus_one g ~idents)
 
 let e16_alg2_general () =
   let g = Builders.complete 8 in
-  let idents = Idents.random_permutation (Prng.create ~seed:11) 8 in
+  let idents = Idents.random_permutation (Prng.create ~seed:(seed 11)) 8 in
   fun () ->
     ignore (Asyncolor.Algorithm2.run_on_graph g ~idents Adversary.synchronous)
 
@@ -145,7 +156,7 @@ let e17_alg2s () =
   fun () -> ignore (Asyncolor.Algorithm2s.run_on_cycle ~idents Adversary.synchronous)
 
 let e18_bit_accounting () =
-  let prng = Prng.create ~seed:12 in
+  let prng = Prng.create ~seed:(seed 12) in
   let xs = Array.init 4_096 (fun _ -> Prng.int prng (1 lsl 50)) in
   fun () -> Array.iter (fun x -> ignore (Asyncolor_cv.Bits.length x)) xs
 
@@ -163,7 +174,9 @@ let mex_kernel () =
   let lists = Array.init 256 (fun i -> [ i mod 5; (i + 1) mod 7; i mod 3; 0; 1 ]) in
   fun () -> Array.iter (fun l -> ignore (Asyncolor_util.Mex.of_list l)) lists
 
-let tests =
+(* A function, not a value: the kernels above draw from their PRNGs when
+   instantiated, which must happen after --seed is parsed. *)
+let tests () =
   [
     Test.make ~name:"e1_alg1_termination(n=64)" (Staged.stage (run_alg1 64));
     Test.make ~name:"e2_alg1_palette(n=32)" (Staged.stage (e2_palette_check ()));
@@ -296,7 +309,7 @@ let run_benchmarks () =
               (match r2 with Some r -> Printf.sprintf "%.4f" r | None -> "-");
             ])
         analysis)
-    tests;
+    (tests ());
   print_endline "\n=== Bechamel timings (monotonic clock, OLS vs runs) ===";
   Table.print table;
   List.rev !records
@@ -319,6 +332,10 @@ let () =
   let jobs =
     match find_opt "--jobs" with Some n -> int_of_string n | None -> 1
   in
+  (match find_opt "--seed" with
+  | Some s -> seed_base := int_of_string s
+  | None -> ());
+  Printf.eprintf "effective seed: %d\n%!" !seed_base;
   let budget =
     match find_opt "--time-budget" with
     | Some s ->

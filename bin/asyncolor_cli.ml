@@ -5,6 +5,8 @@
                   identifier workload and adversary; prints the colouring
      sweep        rounds-vs-n table for an algorithm over the adversary suite
      check        exhaustive model checking on a small cycle
+     fuzz         randomized fault-injection campaigns with shrinking
+     replay       re-execute an explicit schedule or a recorded fuzz trace
      experiments  run the reproduction experiments (DESIGN.md index)      *)
 
 module Adversary = Asyncolor_kernel.Adversary
@@ -18,6 +20,13 @@ module Color = Asyncolor.Color
 module Budget = Asyncolor_resilience.Budget
 module Stop = Asyncolor_resilience.Stop
 module Diag = Asyncolor_resilience.Diag
+module Checkpoint = Asyncolor_resilience.Checkpoint
+module Fz = Asyncolor_fuzz
+
+(* Every randomized subcommand announces the seed it actually used on
+   stderr, so any run — including one that used the default — can be
+   reproduced by pasting the seed back with --seed. *)
+let announce_seed seed = Diag.printf "effective seed: %d\n" seed
 
 let make_idents ~kind ~seed n =
   match kind with
@@ -207,6 +216,7 @@ let make_budget ~time_s ~mem_mb =
 let run_cmd =
   let doc = "run one execution and print the colouring" in
   let f alg n seed idents_kind adv_kind graph_kind max_steps verbose =
+    announce_seed seed;
     let graph = make_graph ~kind:graph_kind ~seed n in
     let n = Graph.n graph in
     let idents = make_idents ~kind:idents_kind ~seed n in
@@ -227,6 +237,7 @@ let sweep_cmd =
       & info [ "sizes" ] ~docv:"N,N,..." ~doc:"Cycle sizes.")
   in
   let f alg seed idents_kind sizes jobs =
+    announce_seed seed;
     (* Each size is one self-contained cell: it builds its own graph,
        identifiers and (seed-derived) adversary suite, so the cells fan
        out across domains and the rows merge back in size order — the
@@ -413,6 +424,7 @@ let check_cmd =
 let lockhunt_cmd =
   let doc = "attack every adjacent pair with the isolate-pair schedule (finding F1)" in
   let f alg n seed idents_kind jobs time_s mem_mb =
+    announce_seed seed;
     let graph = Builders.cycle n in
     let idents = make_idents ~kind:idents_kind ~seed n in
     let budget = make_budget ~time_s ~mem_mb in
@@ -462,22 +474,179 @@ let lockhunt_cmd =
       const f $ alg_arg $ n_arg $ seed_arg $ idents_arg $ jobs_arg
       $ time_budget_arg $ mem_budget_arg)
 
+let fuzz_cmd =
+  let doc = "randomized fault-injection fuzzing with replayable, shrunk traces" in
+  let execs_arg =
+    Arg.(
+      value
+      & opt int 500
+      & info [ "execs" ] ~docv:"N" ~doc:"Number of random executions to attempt.")
+  in
+  let max_n_arg =
+    Arg.(
+      value
+      & opt int 10
+      & info [ "max-n" ] ~docv:"N" ~doc:"Largest instance size to generate.")
+  in
+  let algos_arg =
+    Arg.(
+      value
+      & opt (list string) [ "1"; "2"; "2s"; "3" ]
+      & info [ "algos" ] ~docv:"A,A,..."
+          ~doc:"Algorithms to draw scenarios from: 1, 2, 2s, 3.")
+  in
+  let mutant_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mutant" ] ~docv:"NAME"
+          ~doc:
+            "Mutation-test the detectors: fuzz a deliberately broken variant \
+             (see $(b,--list-mutants)) and expect a finding.  Exit 0 iff the \
+             mutant is caught.")
+  in
+  let list_mutants_arg =
+    Arg.(
+      value & flag
+      & info [ "list-mutants" ] ~doc:"List the known mutations and exit.")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Save every finding to DIR as it is found — tNNNN.trace (raw) and \
+             tNNNN.min.trace (shrunk), keyed by exec index.")
+  in
+  let min_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "min-out" ] ~docv:"PATH"
+          ~doc:"Write the first finding's shrunk trace to PATH.")
+  in
+  let f seed execs max_n algos mutant corpus min_out jobs time_s mem_mb
+      list_mutants =
+    if list_mutants then
+      List.iter
+        (fun (i : Fz.Mutation.info) ->
+          Printf.printf "%-20s (algorithm %s) %s\n" i.name
+            (Fz.Scenario.algo_name i.base) i.describe)
+        Fz.Mutation.all
+    else begin
+      announce_seed seed;
+      let algos =
+        List.map
+          (function
+            | "1" -> Fz.Scenario.A1
+            | "2" -> Fz.Scenario.A2
+            | "2s" -> Fz.Scenario.A2s
+            | "3" -> Fz.Scenario.A3
+            | a -> failwith (Printf.sprintf "unknown algorithm %S (1, 2, 2s, 3)" a))
+          algos
+      in
+      let budget = make_budget ~time_s ~mem_mb in
+      let t0 = Unix.gettimeofday () in
+      let report =
+        Stop.with_signals (fun () ->
+            Fz.Fuzz.campaign ~jobs ?budget ~stop:Stop.requested
+              ?corpus_dir:corpus ?mutation:mutant ~algos ~max_n ~seed ~execs ())
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      Diag.printf "%d execs in %.3fs (%.0f execs/sec, jobs=%d)\n"
+        report.execs_done dt
+        (float_of_int report.execs_done /. Float.max dt 1e-9)
+        jobs;
+      (match budget with
+      | Some b when Budget.exceeded b ->
+          Diag.printf "budget exceeded (%s): truncated campaign\n"
+            (Budget.describe b)
+      | _ -> ());
+      List.iter
+        (fun (fd : Fz.Fuzz.finding) ->
+          Printf.printf
+            "finding: exec=%d invariant=%s shrink: %d->%d steps, n=%d (%d \
+             shrink execs)\n"
+            fd.exec fd.invariant
+            (Fz.Scenario.steps fd.trace.scenario)
+            (Fz.Scenario.steps fd.shrunk.scenario)
+            (Fz.Scenario.graph_n fd.shrunk.scenario.graph)
+            fd.shrink_stats.execs;
+          Format.printf "%a@." Fz.Trace.pp fd.shrunk)
+        report.findings;
+      (match (min_out, report.findings) with
+      | Some path, fd :: _ ->
+          Fz.Trace.save ~path fd.shrunk;
+          Diag.printf "shrunk trace written to %s\n" path
+      | Some _, [] -> ()
+      | None, _ -> ());
+      Printf.printf "fuzz: seed=%d execs=%d/%d findings=%d complete=%b\n"
+        report.seed report.execs_done report.execs_requested
+        (List.length report.findings)
+        report.complete;
+      (* In mutation mode a finding is the expected outcome (the detectors
+         caught the planted bug); in normal mode it is a real violation. *)
+      match (mutant, report.findings) with
+      | Some _, [] ->
+          prerr_endline "mutant escaped: no invariant violation found";
+          exit 1
+      | Some _, _ :: _ -> ()
+      | None, _ :: _ -> exit 1
+      | None, [] -> ()
+    end
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(
+      const f $ seed_arg $ execs_arg $ max_n_arg $ algos_arg $ mutant_arg
+      $ corpus_arg $ min_out_arg $ jobs_arg $ time_budget_arg $ mem_budget_arg
+      $ list_mutants_arg)
+
 let replay_cmd =
-  let doc = "replay an explicit schedule (e.g. a lasso printed by check)" in
+  let doc = "replay an explicit schedule (e.g. a lasso printed by check) or a fuzz trace" in
   let sched_arg =
     Arg.(
-      required
+      value
       & opt (some string) None
       & info [ "schedule" ] ~docv:"SCHED" ~doc:"Schedule, e.g. \"{0} {1} {1,2}\".")
   in
-  let f alg n seed idents_kind sched verbose =
-    let graph = Builders.cycle n in
-    let idents = make_idents ~kind:idents_kind ~seed n in
-    let adv = Adversary.finite (Adversary.parse sched) in
-    run_algorithm ~alg ~graph ~idents ~adv ~max_steps:1_000_000 ~verbose
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"PATH"
+          ~doc:
+            "Replay a trace recorded by $(b,fuzz).  The stored scenario is \
+             re-executed byte-identically; exit 0 iff the recorded violations \
+             reproduce, 1 on mismatch, 2 on a corrupt file.")
+  in
+  let f alg n seed idents_kind sched trace verbose =
+    match (trace, sched) with
+    | Some path, None -> (
+        match Fz.Trace.load path with
+        | exception Checkpoint.Corrupt msg ->
+            Printf.eprintf "corrupt trace %s: %s\n" path msg;
+            exit 2
+        | t ->
+            Format.printf "%a@." Fz.Trace.pp t;
+            let outcome, reproduced = Fz.Fuzz.replay t in
+            List.iter
+              (fun (v : Fz.Exec.violation) ->
+                Printf.printf "replayed violation[%s]: %s\n" v.invariant v.message)
+              outcome.violations;
+            Printf.printf "reproduced=%b\n" reproduced;
+            if not reproduced then exit 1)
+    | None, Some sched ->
+        let graph = Builders.cycle n in
+        let idents = make_idents ~kind:idents_kind ~seed n in
+        let adv = Adversary.finite (Adversary.parse sched) in
+        run_algorithm ~alg ~graph ~idents ~adv ~max_steps:1_000_000 ~verbose
+    | _ -> failwith "replay needs exactly one of --schedule and --trace"
   in
   Cmd.v (Cmd.info "replay" ~doc)
-    Term.(const f $ alg_arg $ n_arg $ seed_arg $ idents_arg $ sched_arg $ verbose_arg)
+    Term.(
+      const f $ alg_arg $ n_arg $ seed_arg $ idents_arg $ sched_arg $ trace_arg
+      $ verbose_arg)
 
 let experiments_cmd =
   let doc = "run the reproduction experiments (E1-E13)" in
@@ -508,4 +677,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; sweep_cmd; check_cmd; lockhunt_cmd; replay_cmd; experiments_cmd ]))
+          [
+            run_cmd;
+            sweep_cmd;
+            check_cmd;
+            lockhunt_cmd;
+            fuzz_cmd;
+            replay_cmd;
+            experiments_cmd;
+          ]))

@@ -1,0 +1,235 @@
+module Graph = Asyncolor_topology.Graph
+module Adversary = Asyncolor_kernel.Adversary
+module Status = Asyncolor_kernel.Status
+module Checker = Asyncolor.Checker
+module Color = Asyncolor.Color
+
+type violation = { invariant : string; message : string }
+
+type event = {
+  time : int;
+  activated : int list;
+  returned : (int * string) list;
+}
+
+type outcome = {
+  violations : violation list;
+  events : event list;
+  outputs : string option array;
+  activations : int array;
+  steps : int;
+  returned : int;
+}
+
+let invariant_names = [ "proper"; "palette"; "activation-bound"; "mask-agreement" ]
+
+(* A protocol plus everything the invariant suite needs to judge a run of
+   it: output equality and rendering, the palette claim (graph-dependent)
+   and the wait-freedom activation bound (cycle-only). *)
+module type ALG = sig
+  include Asyncolor_kernel.Protocol.S
+
+  val equal_output : output -> output -> bool
+  val show_output : output -> string
+  val palette : graph:Graph.t -> on_cycle:bool -> (output -> bool) option
+  val bound : n:int -> on_cycle:bool -> int option
+end
+
+let a1_alg (p : Mutation.a1_protocol) : (module ALG) =
+  let (module P) = p in
+  (module struct
+    include P
+
+    let equal_output (a : output) (b : output) = a = b
+    let show_output (a, b) = Printf.sprintf "(%d,%d)" a b
+
+    let palette ~graph ~on_cycle =
+      (* Theorem 3.1 on the cycle (a + b <= 2); Appendix A's Algorithm 4
+         palette (a + b <= Δ) elsewhere. *)
+      let budget = if on_cycle then 2 else Graph.max_degree graph in
+      Some (Color.pair_in_palette ~budget)
+
+    let bound ~n ~on_cycle =
+      if on_cycle then Some (Asyncolor.Algorithm1.activation_bound n) else None
+  end)
+
+(* Generic builder for the int-output protocols (Algorithms 2, 2s, 3 and
+   the Algorithm-2 mutants); palette claim and activation bound are the
+   per-algorithm parameters. *)
+let int_alg (type s r)
+    (module P : Asyncolor_kernel.Protocol.S
+      with type state = s
+       and type register = r
+       and type output = int)
+    ~(palette : graph:Graph.t -> on_cycle:bool -> (int -> bool) option)
+    ~(bound : n:int -> on_cycle:bool -> int option) : (module ALG) =
+  (module struct
+    include P
+
+    let equal_output = Int.equal
+    let show_output = string_of_int
+    let palette = palette
+    let bound = bound
+  end)
+
+let a2_alg (p : Mutation.a2_protocol) : (module ALG) =
+  let (module P) = p in
+  int_alg
+    (module P)
+    (* 5 colours on the cycle (Δ = 2), the 2Δ+1 general palette beyond. *)
+    ~palette:(fun ~graph ~on_cycle:_ ->
+      Some
+        (Asyncolor.Algorithm2.in_general_palette
+           ~max_degree:(Graph.max_degree graph)))
+    ~bound:(fun ~n ~on_cycle ->
+      if on_cycle then Some (Asyncolor.Algorithm2.activation_bound n) else None)
+
+let a2s_alg () : (module ALG) =
+  (* Algorithm 2s is not wait-free (the symmetric lasso of E13), so no
+     activation bound applies; palette is the 7-colour one, cycle only. *)
+  int_alg
+    (module Asyncolor.Algorithm2s.P)
+    ~palette:(fun ~graph:_ ~on_cycle ->
+      if on_cycle then Some Asyncolor.Algorithm2s.in_palette else None)
+    ~bound:(fun ~n:_ ~on_cycle:_ -> None)
+
+let a3_alg () : (module ALG) =
+  int_alg
+    (module Asyncolor.Algorithm3.P)
+    ~palette:(fun ~graph:_ ~on_cycle:_ -> Some Color.in_five)
+    ~bound:(fun ~n ~on_cycle ->
+      if on_cycle then Some (Asyncolor.Algorithm3.activation_bound n) else None)
+
+let resolve (sc : Scenario.t) : (module ALG) =
+  let bad_mutation m =
+    invalid_arg
+      (Printf.sprintf "Exec.run: mutation %S does not apply to algorithm %s" m
+         (Scenario.algo_name sc.algo))
+  in
+  match (sc.algo, sc.mutation) with
+  | Scenario.A1, None -> a1_alg (module Asyncolor.Algorithm1.P)
+  | Scenario.A1, Some m -> (
+      match Mutation.a1_protocol m with
+      | Some p -> a1_alg p
+      | None -> bad_mutation m)
+  | Scenario.A2, None -> a2_alg (module Asyncolor.Algorithm2.P)
+  | Scenario.A2, Some m -> (
+      match Mutation.a2_protocol m with
+      | Some p -> a2_alg p
+      | None -> bad_mutation m)
+  | Scenario.A2s, None -> a2s_alg ()
+  | Scenario.A3, None -> a3_alg ()
+  | (Scenario.A2s | Scenario.A3), Some m -> bad_mutation m
+
+let mask_of_set set = List.fold_left (fun m p -> m lor (1 lsl p)) 0 set
+
+let run_alg (module A : ALG) (sc : Scenario.t) : outcome =
+  let module E = Asyncolor_kernel.Engine.Make (A) in
+  let graph = Scenario.build_graph sc.graph in
+  let n = Graph.n graph in
+  let on_cycle = match sc.graph with Scenario.Cycle _ -> true | _ -> false in
+  let engine = E.create ~record_trace:true graph ~idents:sc.idents in
+  let r =
+    E.run
+      ~max_steps:(Scenario.steps sc + 1)
+      engine
+      (Adversary.finite sc.schedule)
+  in
+  let violations = ref [] in
+  let add invariant message = violations := { invariant; message } :: !violations in
+  (* 1-2: proper colouring of the returned subgraph + palette membership *)
+  let in_palette =
+    match A.palette ~graph ~on_cycle with Some f -> f | None -> fun _ -> true
+  in
+  let verdict = Checker.check ~equal:A.equal_output ~in_palette graph r.outputs in
+  let show_out p =
+    match r.outputs.(p) with Some o -> A.show_output o | None -> "⊥"
+  in
+  if not verdict.Checker.proper then
+    add "proper"
+      (Printf.sprintf "improper colouring: %s"
+         (String.concat ", "
+            (List.map
+               (fun (u, v) ->
+                 Printf.sprintf "edge (%d,%d) both coloured %s" u v (show_out u))
+               verdict.Checker.conflicts)));
+  if verdict.Checker.off_palette <> [] then
+    add "palette"
+      (Printf.sprintf "off-palette outputs: %s"
+         (String.concat ", "
+            (List.map
+               (fun p -> Printf.sprintf "p%d=%s" p (show_out p))
+               verdict.Checker.off_palette)));
+  (* 3: the wait-freedom lemmas as per-process activation bounds *)
+  (match A.bound ~n ~on_cycle with
+  | None -> ()
+  | Some b ->
+      Array.iteri
+        (fun p a ->
+          if a > b then
+            add "activation-bound"
+              (Printf.sprintf
+                 "process %d performed %d activations (bound %d, %s)" p a b
+                 (if Status.is_returned (E.status engine p) then "returned"
+                  else "not returned")))
+        r.activations_per_process);
+  (* 4: differential agreement between the list ([activate]) and packed
+     ([activate_mask]) run-core entry points on the same schedule *)
+  let e2 = E.create graph ~idents:sc.idents in
+  List.iter
+    (fun set ->
+      if not (E.all_returned e2) then E.activate_mask e2 (mask_of_set set))
+    sc.schedule;
+  if E.time e2 <> r.steps then
+    add "mask-agreement"
+      (Printf.sprintf "mask replay took %d steps, list replay %d" (E.time e2)
+         r.steps)
+  else begin
+    let diverged = ref None in
+    for p = n - 1 downto 0 do
+      let same_status =
+        match (E.status engine p, E.status e2 p) with
+        | Status.Asleep, Status.Asleep | Status.Working, Status.Working -> true
+        | Status.Returned a, Status.Returned b -> A.equal_output a b
+        | _ -> false
+      in
+      if (not same_status) || E.activations engine p <> E.activations e2 p then
+        diverged := Some p
+    done;
+    match !diverged with
+    | Some p ->
+        add "mask-agreement"
+          (Printf.sprintf
+             "process %d diverges between activate and activate_mask \
+              (status %s vs %s, activations %d vs %d)"
+             p
+             (Format.asprintf "%a" (Status.pp A.pp_output) (E.status engine p))
+             (Format.asprintf "%a" (Status.pp A.pp_output) (E.status e2 p))
+             (E.activations engine p) (E.activations e2 p))
+    | None -> ()
+  end;
+  let events =
+    List.map
+      (fun (e : E.event) ->
+        {
+          time = e.E.time;
+          activated = e.E.activated;
+          returned = List.map (fun (p, o) -> (p, A.show_output o)) e.E.returned;
+        })
+      (E.trace engine)
+  in
+  {
+    violations = List.rev !violations;
+    events;
+    outputs = Array.map (Option.map A.show_output) r.outputs;
+    activations = r.activations_per_process;
+    steps = r.steps;
+    returned = verdict.Checker.returned;
+  }
+
+let run (sc : Scenario.t) : outcome =
+  Scenario.validate sc;
+  run_alg (resolve sc) sc
+
+let fails_invariant sc ~invariant =
+  List.exists (fun v -> v.invariant = invariant) (run sc).violations

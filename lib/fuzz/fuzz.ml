@@ -1,0 +1,133 @@
+module Prng = Asyncolor_util.Prng
+module Domain_pool = Asyncolor_util.Domain_pool
+module Budget = Asyncolor_resilience.Budget
+
+type finding = {
+  exec : int;
+  invariant : string;
+  trace : Trace.t;
+  shrunk : Trace.t;
+  shrink_stats : Shrink.stats;
+}
+
+type report = {
+  seed : int;
+  execs_requested : int;
+  execs_done : int;
+  complete : bool;
+  findings : finding list;
+}
+
+(* Per-exec PRNG stream: a pure function of (campaign seed, exec index),
+   so exec [i] generates the same scenario whatever --jobs is and however
+   the execs are batched — the whole determinism argument of the
+   campaign.  [Prng.create] finalises with the SplitMix64 mixer, so a
+   simple odd-multiplier combine is enough to decorrelate streams. *)
+let exec_seed ~seed i = seed lxor (i * 0x9E3779B97F4A7C1)
+
+let run_one ?algos ?mutation ?max_n ~seed i =
+  let prng = Prng.create ~seed:(exec_seed ~seed i) in
+  (* A mutation is compiled into one specific algorithm, so restrict the
+     generator to that algorithm's scenarios. *)
+  let algos =
+    match mutation with
+    | None -> algos
+    | Some m -> (
+        match
+          List.find_opt (fun (i : Mutation.info) -> i.name = m) Mutation.all
+        with
+        | Some info -> Some [ info.base ]
+        | None -> invalid_arg (Printf.sprintf "Fuzz: unknown mutation %S" m))
+  in
+  let sc = Scenario.generate ?algos ?mutation ?max_n prng in
+  let outcome = Exec.run sc in
+  match outcome.Exec.violations with
+  | [] -> None
+  | first :: _ as violations ->
+      let invariant = first.Exec.invariant in
+      let shrunk_sc, shrink_stats = Shrink.minimize sc ~invariant in
+      let shrunk_out = Exec.run shrunk_sc in
+      let pairs vs =
+        List.map (fun (v : Exec.violation) -> (v.invariant, v.message)) vs
+      in
+      Some
+        {
+          exec = i;
+          invariant;
+          trace =
+            { Trace.scenario = sc; seed; exec = i; violations = pairs violations };
+          shrunk =
+            {
+              Trace.scenario = shrunk_sc;
+              seed;
+              exec = i;
+              violations = pairs shrunk_out.Exec.violations;
+            };
+          shrink_stats;
+        }
+
+let trace_paths ~dir exec =
+  ( Filename.concat dir (Printf.sprintf "t%04d.trace" exec),
+    Filename.concat dir (Printf.sprintf "t%04d.min.trace" exec) )
+
+let save_finding ~dir f =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let raw, min = trace_paths ~dir f.exec in
+  Trace.save ~path:raw f.trace;
+  Trace.save ~path:min f.shrunk
+
+let campaign ?(jobs = 1) ?budget ?stop ?corpus_dir ?algos ?mutation ?max_n
+    ~seed ~execs () =
+  let should_stop () =
+    (match stop with Some f -> f () | None -> false)
+    || match budget with Some b -> Budget.exceeded b | None -> false
+  in
+  let findings = ref [] in
+  let done_ = ref 0 in
+  let complete = ref true in
+  let batch = max 8 (jobs * 4) in
+  let record fs =
+    List.iter
+      (fun f ->
+        findings := f :: !findings;
+        match corpus_dir with None -> () | Some dir -> save_finding ~dir f)
+      fs
+  in
+  Domain_pool.with_pool ~jobs (fun pool ->
+      let lo = ref 0 in
+      while !lo < execs do
+        if should_stop () then begin
+          complete := false;
+          lo := execs
+        end
+        else begin
+          let hi = min execs (!lo + batch) in
+          let indices = Array.init (hi - !lo) (fun k -> !lo + k) in
+          let results =
+            Domain_pool.map pool
+              (fun i -> run_one ?algos ?mutation ?max_n ~seed i)
+              indices
+          in
+          Array.iter
+            (function Some f -> record [ f ] | None -> ())
+            results;
+          done_ := hi;
+          lo := hi
+        end
+      done);
+  {
+    seed;
+    execs_requested = execs;
+    execs_done = !done_;
+    complete = !complete;
+    findings = List.rev !findings;
+  }
+
+let replay (t : Trace.t) =
+  let outcome = Exec.run t.Trace.scenario in
+  let pairs =
+    List.map
+      (fun (v : Exec.violation) -> (v.Exec.invariant, v.Exec.message))
+      outcome.Exec.violations
+  in
+  (outcome, pairs = t.Trace.violations)

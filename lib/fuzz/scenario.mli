@@ -1,0 +1,77 @@
+(** Fuzzing scenarios: one fully explicit adversarial execution.
+
+    A scenario is pure data — algorithm, optional planted mutation
+    ({!Mutation}), topology, identifier assignment and an {e explicit}
+    schedule (the activation set of every time step, crashes encoded as a
+    process simply never being scheduled again, truncation as the schedule
+    ending).  Making the schedule explicit rather than a closure is what
+    buys byte-identical replay ({!Trace}) and structural minimisation
+    ({!Shrink}): the whole execution is a value.
+
+    Scenarios quantify over the same space as the paper's theorems
+    (§2.2): arbitrary activation sets, crash faults, arbitrary wake-up
+    delays — but sampled at sizes far beyond the exhaustive explorer's
+    n ≤ 7 ceiling. *)
+
+type algo = A1 | A2 | A2s | A3
+
+type graph_spec = Cycle of int | Path of int | Complete of int | Star of int
+
+type t = {
+  algo : algo;
+  mutation : string option;
+      (** planted bug to run instead of the clean step function; [None]
+          for the real algorithm.  See {!Mutation}. *)
+  graph : graph_spec;
+  idents : int array;
+  schedule : int list list;
+}
+
+val algo_name : algo -> string
+(** ["1"], ["2"], ["2s"], ["3"] — the CLI spelling. *)
+
+val algo_of_string : string -> algo option
+
+val graph_n : graph_spec -> int
+val graph_name : graph_spec -> string
+val build_graph : graph_spec -> Asyncolor_topology.Graph.t
+
+val steps : t -> int
+(** Schedule length. *)
+
+val weight : t -> int
+(** Total activation-set occupancy (steps + sum of set sizes). *)
+
+val size : t -> int * int * int
+(** [(n, steps, weight)] — the lexicographic cost {!Shrink} minimises. *)
+
+val pp : Format.formatter -> t -> unit
+
+val validate : t -> unit
+(** @raise Invalid_argument if the identifier array does not match the
+    node count, identifiers collide, or the schedule names a process
+    outside [\[0, n)] — the checks a hostile trace file must pass before
+    being replayed. *)
+
+val generate : ?algos:algo list -> ?mutation:string -> ?max_n:int -> Asyncolor_util.Prng.t -> t
+(** Draw a scenario: algorithm from [algos] (default all four), [n] in
+    [\[3, max_n\]] (default 10), topology (cycle-heavy; Algorithms 2s/3
+    stay on the cycle), identifier workload, then a schedule with random
+    per-process wake-up delays, independent crash times, a per-scenario
+    activation density and a random truncation horizon.  All draws happen
+    in a fixed order, so the scenario is a pure function of the
+    generator's state. *)
+
+(** {1 Shrinking primitives} — each returns a structurally smaller
+    scenario; {!Shrink} searches over them. *)
+
+val drop_steps : t -> lo:int -> len:int -> t
+(** Remove schedule steps [lo, lo+len). *)
+
+val thin_step : t -> step:int -> drop:int -> t
+(** Remove the [drop]-th element of activation set [step]. *)
+
+val drop_node : t -> int -> t option
+(** Remove one node of a cycle with [n > 3]: the cycle closes over the
+    gap, identifiers and schedule indices are remapped.  [None] for other
+    topologies or [n = 3]. *)

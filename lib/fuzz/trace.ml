@@ -1,0 +1,39 @@
+module Checkpoint = Asyncolor_resilience.Checkpoint
+
+type t = {
+  scenario : Scenario.t;
+  seed : int;
+  exec : int;
+  violations : (string * string) list;
+}
+
+(* Bump whenever [t] (or [Scenario.t]) changes shape — the container then
+   rejects stale files cleanly instead of decoding garbage. *)
+let version = 1
+
+(* Discriminates fuzz traces from other users of the same container format
+   (the explorer's checkpoints): checked before the payload is trusted. *)
+let fingerprint = "asyncolor-fuzz-trace"
+
+let save ~path t = Checkpoint.save ~path ~version (fingerprint, t)
+
+let load path =
+  let tag, (t : t) = Checkpoint.load ~path ~version in
+  if tag <> fingerprint then
+    raise
+      (Checkpoint.Corrupt
+         (Printf.sprintf "not a fuzz trace (payload tag %S)" tag));
+  (* A trace file is attacker-controlled input to [replay]; reject
+     structurally invalid scenarios here with the container's own
+     exception rather than failing deep inside the engine. *)
+  (match Scenario.validate t.scenario with
+  | () -> ()
+  | exception Invalid_argument msg -> raise (Checkpoint.Corrupt msg));
+  t
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@,seed=%d exec=%d@,%a@]" Scenario.pp t.scenario
+    t.seed t.exec
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf (i, m) ->
+         Format.fprintf ppf "violation[%s]: %s" i m))
+    t.violations

@@ -1,0 +1,30 @@
+(** Replayable execution traces, persisted in the resilience layer's
+    versioned, checksummed, atomically-written container
+    ({!Asyncolor_resilience.Checkpoint}).
+
+    A trace is a {!Scenario.t} (the whole execution as data) plus its
+    provenance — the campaign seed and exec index that produced it — and
+    the violations observed when it was recorded.  Because the scenario
+    is explicit, replaying a loaded trace re-executes byte-identically:
+    {!Exec.run} on [t.scenario] must reproduce [t.violations] exactly,
+    which the [replay] CLI subcommand and [test/test_fuzz.ml] enforce. *)
+
+type t = {
+  scenario : Scenario.t;
+  seed : int;  (** campaign seed ([-1] when hand-built) *)
+  exec : int;  (** exec index within the campaign ([-1] when hand-built) *)
+  violations : (string * string) list;  (** (invariant, message) at record time *)
+}
+
+val version : int
+(** Payload schema version handed to the checkpoint container. *)
+
+val save : path:string -> t -> unit
+(** Atomic write (tmp + fsync + rename), MD5-checksummed. *)
+
+val load : string -> t
+(** Validates container magic/version/digest, the fuzz-trace fingerprint
+    and the scenario's structural invariants.
+    @raise Asyncolor_resilience.Checkpoint.Corrupt on any failure. *)
+
+val pp : Format.formatter -> t -> unit

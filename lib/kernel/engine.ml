@@ -116,6 +116,16 @@ module Make (P : Protocol.S) = struct
     match t.monitor with None -> () | Some f -> f t
 
   let activate t set =
+    (* Validate before any mutation: a bad index must leave the engine
+       untouched (time not advanced, nobody woken). *)
+    let n = n t in
+    List.iter
+      (fun p ->
+        if p < 0 || p >= n then
+          invalid_arg
+            (Printf.sprintf
+               "Engine.activate: process index %d out of range [0, %d)" p n))
+      set;
     t.time <- t.time + 1;
     let set = List.sort_uniq compare set in
     let set = List.filter (fun p -> not (Status.is_returned t.status.(p))) set in
@@ -131,8 +141,13 @@ module Make (P : Protocol.S) = struct
      mask path allocates nothing per step unless a trace is recorded. *)
   let activate_mask t mask =
     check_mask_width t "activate_mask";
-    t.time <- t.time + 1;
     let n = n t in
+    if mask < 0 || mask lsr n <> 0 then
+      invalid_arg
+        (Printf.sprintf
+           "Engine.activate_mask: mask %#x names processes outside [0, %d)" mask
+           n);
+    t.time <- t.time + 1;
     let live = ref 0 in
     for p = 0 to n - 1 do
       if mask land (1 lsl p) <> 0 && not (Status.is_returned t.status.(p)) then

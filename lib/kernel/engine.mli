@@ -54,9 +54,16 @@ module Make (P : Protocol.S) : sig
 
   val activate : t -> int list -> unit
   (** [activate t set] executes one time step with activation set [set].
-      Indices of returned processes and duplicates are ignored.  Asleep
-      processes in [set] wake up (their state becomes [init ~ident]) and
-      take their first round within this very step. *)
+      Input contract (shared with {!activate_mask}):
+      - {e out-of-range} indices ([p < 0] or [p >= n t]) raise
+        [Invalid_argument] {e before} the engine mutates — time does not
+        advance and nobody wakes up;
+      - {e duplicate} indices are coalesced: a process activates at most
+        once per step, however many times it appears in [set];
+      - indices of {e returned} processes are ignored (the paper's "no
+        longer partakes in the execution").
+      Asleep processes in [set] wake up (their state becomes
+      [init ~ident]) and take their first round within this very step. *)
 
   val activate_mask : t -> int -> unit
   (** [activate_mask t mask] is [activate t set] for the set whose members
@@ -65,6 +72,9 @@ module Make (P : Protocol.S) : sig
       list version on equal sets (returned processes drop out, ascending
       activation order) but allocation-free per step unless a trace is
       recorded, which is what the exhaustive explorer's hot loop needs.
+      Shares the input contract of {!activate}: a mask naming a process
+      outside [\[0, n t)] (a negative mask, or any set bit at position
+      [>= n t]) raises [Invalid_argument] before the engine mutates.
       @raise Invalid_argument when [n t > Sys.int_size - 1] (the mask
       cannot name every process). *)
 

@@ -148,6 +148,50 @@ let test_duplicate_activation_collapsed () =
   E3.activate e [ 0; 0; 0 ];
   check Alcotest.int "deduplicated" 1 (E3.activations e 0)
 
+(* Input validation: out-of-range indices raise before the engine mutates
+   (the documented contract shared by [activate] and [activate_mask]). *)
+
+let test_activate_out_of_range () =
+  let e = mk () in
+  E3.activate e [ 0 ];
+  let t0 = E3.time e in
+  let acts0 = E3.activations e 0 in
+  List.iter
+    (fun bad ->
+      (match E3.activate e bad with
+      | () -> Alcotest.failf "activate %s: expected Invalid_argument"
+                (String.concat "," (List.map string_of_int bad))
+      | exception Invalid_argument _ -> ());
+      check Alcotest.int "time unchanged" t0 (E3.time e);
+      check Alcotest.int "no activation happened" acts0 (E3.activations e 0);
+      check Alcotest.bool "nobody woke up" true (Status.is_asleep (E3.status e 1)))
+    [ [ 3 ]; [ -1 ]; [ 0; 3 ]; [ 1; -5; 2 ] ]
+
+let test_activate_mask_out_of_range () =
+  let e = mk () in
+  let t0 = E3.time e in
+  List.iter
+    (fun bad ->
+      (match E3.activate_mask e bad with
+      | () -> Alcotest.failf "activate_mask %#x: expected Invalid_argument" bad
+      | exception Invalid_argument _ -> ());
+      check Alcotest.int "time unchanged" t0 (E3.time e))
+    [ 0b1000; -1; 0b1001; max_int ]
+
+let test_activate_mask_list_agree_on_valid_sets () =
+  (* The two entry points stay observably identical on every valid set. *)
+  let e1 = mk () and e2 = mk () in
+  let sets = [ [ 0 ]; [ 1; 2 ]; [ 0; 1; 2 ]; []; [ 2 ] ] in
+  List.iter
+    (fun set ->
+      E3.activate e1 set;
+      E3.activate_mask e2 (List.fold_left (fun m p -> m lor (1 lsl p)) 0 set))
+    sets;
+  check Alcotest.int "same time" (E3.time e1) (E3.time e2);
+  for p = 0 to 2 do
+    check Alcotest.int "same activations" (E3.activations e1 p) (E3.activations e2 p)
+  done
+
 let test_outputs_and_all_returned () =
   let e = mk () in
   for _ = 1 to 3 do
@@ -484,6 +528,81 @@ let test_adv_random_crashes_eventually_stop () =
   done;
   check Alcotest.bool "all crashed" true !stopped
 
+(* --- qcheck: the crash wrappers keep their two contracts --------------
+   (1) a crashed process is never activated at or after its crash time;
+   (2) the schedule ends (next = None) when only crashed processes remain
+   unfinished. *)
+
+let prop_crash_never_activates_after_crash_time =
+  QCheck.Test.make ~name:"crash: no activation at time >= at" ~count:200
+    QCheck.(
+      triple (int_range 1 10)
+        (list_of_size (Gen.int_range 0 5) (int_range 0 4))
+        (int_range 0 1000))
+    (fun (at, procs, seed) ->
+      let inner = Adversary.random_subsets (Prng.create ~seed) ~p:0.6 in
+      let adv = Adversary.crash ~at ~procs inner in
+      let ok = ref true in
+      for time = 1 to at + 10 do
+        match adv.next ~time ~unfinished:unfinished5 with
+        | None -> ()
+        | Some set ->
+            if time >= at && List.exists (fun p -> List.mem p procs) set then
+              ok := false
+      done;
+      !ok)
+
+let prop_crash_ends_when_only_crashed_remain =
+  QCheck.Test.make ~name:"crash: None once only crashed remain" ~count:200
+    QCheck.(
+      triple (int_range 1 10)
+        (list_of_size (Gen.int_range 1 5) (int_range 0 4))
+        (int_range 0 1000))
+    (fun (at, procs, seed) ->
+      QCheck.assume (procs <> []);
+      let inner = Adversary.random_subsets (Prng.create ~seed) ~p:0.6 in
+      let adv = Adversary.crash ~at ~procs inner in
+      (* any non-empty unfinished set drawn from the crashed processes *)
+      let unfinished = List.sort_uniq compare procs in
+      adv.next ~time:at ~unfinished = None
+      && adv.next ~time:(at + 7) ~unfinished = None)
+
+let prop_random_crashes_permanent_and_filtered =
+  (* [random_crashes] fixes each process's crash time at construction; with
+     a stateless inner ([synchronous]) the adversary can be probed freely:
+     [next ~unfinished:[p] = None] is a pure oracle for "p crashed by t".
+     Check the oracle is monotone (a crash is permanent), that full-set
+     activations never include a crashed process, and that the schedule
+     ends exactly when every unfinished process has crashed. *)
+  QCheck.Test.make ~name:"random_crashes: permanent, filtered, ends" ~count:100
+    QCheck.(pair (int_range 0 1000) (int_range 1 8))
+    (fun (seed, horizon) ->
+      let n = 5 in
+      let adv =
+        Adversary.random_crashes (Prng.create ~seed) ~n ~rate:0.7 ~horizon
+          Adversary.synchronous
+      in
+      let crashed_by p time = adv.next ~time ~unfinished:[ p ] = None in
+      let ok = ref true in
+      for t = 1 to horizon + 2 do
+        for p = 0 to n - 1 do
+          if crashed_by p t && not (crashed_by p (t + 1)) then ok := false
+        done;
+        let crashed = List.filter (fun p -> crashed_by p t) unfinished5 in
+        (match adv.next ~time:t ~unfinished:unfinished5 with
+        | None -> if List.length crashed < n then ok := false
+        | Some set ->
+            if List.exists (fun p -> List.mem p crashed) set then ok := false;
+            (* synchronous inner: every alive process is activated *)
+            if
+              List.sort_uniq compare set
+              <> List.filter (fun p -> not (List.mem p crashed)) unfinished5
+            then ok := false);
+        if crashed <> [] && adv.next ~time:t ~unfinished:crashed <> None then
+          ok := false
+      done;
+      !ok)
+
 let () =
   Alcotest.run "kernel"
     [
@@ -500,6 +619,12 @@ let () =
             test_returned_ignores_activation;
           Alcotest.test_case "duplicate activation collapsed" `Quick
             test_duplicate_activation_collapsed;
+          Alcotest.test_case "activate rejects out-of-range" `Quick
+            test_activate_out_of_range;
+          Alcotest.test_case "activate_mask rejects out-of-range" `Quick
+            test_activate_mask_out_of_range;
+          Alcotest.test_case "mask/list agree on valid sets" `Quick
+            test_activate_mask_list_agree_on_valid_sets;
           Alcotest.test_case "outputs / all_returned" `Quick
             test_outputs_and_all_returned;
           Alcotest.test_case "monitor" `Quick test_monitor_runs_every_step;
@@ -541,5 +666,8 @@ let () =
           qtest prop_schedule_roundtrip;
           Alcotest.test_case "random crashes stop" `Quick
             test_adv_random_crashes_eventually_stop;
+          qtest prop_crash_never_activates_after_crash_time;
+          qtest prop_crash_ends_when_only_crashed_remain;
+          qtest prop_random_crashes_permanent_and_filtered;
         ] );
     ]
