@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-quick examples experiments clean
+.PHONY: all build test bench bench-quick examples experiments coverage clean
 
 all: build
 
@@ -32,6 +32,28 @@ examples:
 
 experiments:
 	dune exec bin/asyncolor_cli.exe -- experiments
+
+# Coverage-instrumented test run (requires bisect_ppx; the dune
+# instrumentation stanzas are inert without it, so a plain build never
+# needs it installed).  Produces _coverage/index.html and enforces the
+# per-library floors in coverage-baseline.txt.
+coverage:
+	@ocamlfind query bisect_ppx >/dev/null 2>&1 || { \
+	  echo "coverage: bisect_ppx is not installed (opam install bisect_ppx)"; \
+	  echo "coverage: skipping — the build itself never needs it."; \
+	  exit 0; } && \
+	$(MAKE) coverage-run
+
+.PHONY: coverage-run
+coverage-run:
+	find . -name '*.coverage' -delete
+	dune runtest --instrument-with bisect_ppx --force
+	bisect-ppx-report html --source-path . -o _coverage \
+	  $$(find _build -name '*.coverage')
+	bisect-ppx-report summary --per-file \
+	  $$(find _build -name '*.coverage') > _coverage/summary.txt
+	scripts/check_coverage.sh _coverage/summary.txt coverage-baseline.txt
+	@echo "coverage: report in _coverage/index.html"
 
 clean:
 	dune clean

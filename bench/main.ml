@@ -30,7 +30,11 @@
    instances that would overrun are cut short with a note instead of
    blowing a CI job timeout), --checkpoint PATH (explore-scale instances
    checkpoint to PATH so a cancelled deep run leaves a resumable
-   artifact behind — see HACKING.md, "Crash-safe model checking"). *)
+   artifact behind — see HACKING.md, "Crash-safe model checking"),
+   --trace-out PATH (Chrome trace_event trace of the explore-scale
+   section, for Perfetto; enables the obs sink), --metrics (record the
+   obs counter/gauge totals — with --json they land under "obs_metrics"
+   in the report, otherwise they print to stderr). *)
 
 open Bechamel
 open Toolkit
@@ -39,6 +43,9 @@ module Builders = Asyncolor_topology.Builders
 module Idents = Asyncolor_workload.Idents
 module Prng = Asyncolor_util.Prng
 module Table = Asyncolor_workload.Table
+module Obs = Asyncolor_obs.Obs
+module Oclock = Asyncolor_obs.Clock
+module Trace_export = Asyncolor_obs.Trace_export
 
 (* --- benchmark kernels, one per experiment --------------------------- *)
 
@@ -231,7 +238,7 @@ let explore_scale_instances ~quick =
          `Singletons, 40_000_000);
       ]
 
-let run_explore_scale ~quick ~budget ~checkpoint =
+let run_explore_scale ~quick ~budget ~checkpoint ~obs =
   let module Exp = Asyncolor_check.Explorer.Make (Asyncolor.Algorithm2.P) in
   print_endline
     "\n=== explore-scale: parallel packed explorer, wall clock (jobs 1 vs 4) ===";
@@ -247,13 +254,17 @@ let run_explore_scale ~quick ~budget ~checkpoint =
   let records =
     List.map
       (fun (name, graph, idents, mode, cap) ->
+        (* Timings come off the obs layer's monotonic clock (see
+           EXPERIMENTS.md); the jobs=4 leg is traced so the per-level
+           spans of the biggest instances land in --trace-out. *)
         let time jobs =
-          let t0 = Unix.gettimeofday () in
+          let obs = if jobs > 1 then obs else Obs.disabled in
+          let t0 = Oclock.monotonic () in
           let r =
             Exp.explore ~mode ~max_configs:cap ~jobs ?budget ?checkpoint:ckpt
-              graph ~idents
+              ~obs graph ~idents
           in
-          (r, Unix.gettimeofday () -. t0)
+          (r, Int64.to_float (Int64.sub (Oclock.monotonic ()) t0) /. 1e9)
         in
         let r1, dt1 = time 1 in
         let r4, dt4 = time 4 in
@@ -362,10 +373,23 @@ let () =
       outcomes
     end
   in
+  let trace_out = find_opt "--trace-out" in
+  let metrics = List.mem "--metrics" argv in
+  let obs =
+    if trace_out <> None || metrics then Obs.create () else Obs.disabled
+  in
   let scale_records =
-    if no_bench then [] else run_explore_scale ~quick ~budget ~checkpoint
+    if no_bench then [] else run_explore_scale ~quick ~budget ~checkpoint ~obs
   in
   let bench_records = if no_bench then [] else run_benchmarks () in
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+      Trace_export.write_chrome obs ~path;
+      Printf.eprintf "wrote Chrome trace to %s (%d spans)\n%!" path
+        (List.length (Obs.spans obs)));
+  if metrics && json_path = None then
+    prerr_string (Trace_export.metrics_table obs);
   (match json_path with
   | None -> ()
   | Some path ->
@@ -388,6 +412,13 @@ let () =
             ("configs_per_sec_jobs4", J.Float rate);
           ]
       in
+      (* The flat obs metrics ride along in the machine-readable record:
+         one integer per counter/gauge, sorted by name (the same rows
+         Trace_export.metrics_table prints).  Empty unless the sink was
+         enabled with --trace-out/--metrics. *)
+      let obs_metrics =
+        J.Obj (List.map (fun (name, v) -> (name, J.Int v)) (Obs.metrics obs))
+      in
       J.write path
         (J.Obj
            [
@@ -395,6 +426,7 @@ let () =
                J.List (List.map Asyncolor_experiments.Outcome.to_json outcomes) );
              ("explore_scale", J.List (List.map scale_json scale_records));
              ("benchmarks", J.List (List.map bench_json bench_records));
+             ("obs_metrics", obs_metrics);
            ]);
       Printf.printf "\nwrote JSON report to %s\n" path);
   if not (Asyncolor_experiments.Outcome.all_ok outcomes) then exit 1

@@ -22,6 +22,9 @@ module Stop = Asyncolor_resilience.Stop
 module Diag = Asyncolor_resilience.Diag
 module Checkpoint = Asyncolor_resilience.Checkpoint
 module Fz = Asyncolor_fuzz
+module Obs = Asyncolor_obs.Obs
+module Oclock = Asyncolor_obs.Clock
+module Trace_export = Asyncolor_obs.Trace_export
 
 (* Every randomized subcommand announces the seed it actually used on
    stderr, so any run — including one that used the default — can be
@@ -213,6 +216,50 @@ let make_budget ~time_s ~mem_mb =
            ?mem_words:(Option.map Budget.mem_words_of_mb mem_mb)
            ())
 
+(* --- observability plumbing (check / lockhunt / fuzz) ------------------
+
+   Tracing and metrics are strictly out-of-band: the trace goes to a
+   file, the metrics table to stderr through the line-atomic sink, and
+   stdout — the surface under the byte-determinism diff tests — is
+   untouched whether the sink is enabled or not. *)
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"PATH"
+        ~doc:
+          "Write a Chrome trace_event JSON trace of the run to PATH — load \
+           it in Perfetto or chrome://tracing, or sanity-check it with \
+           $(b,asyncolor tracecheck).  Enables the observability sink; the \
+           report on stdout is byte-identical with or without it.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Print the flat metrics table (counter and gauge totals, sorted \
+           by name) to stderr after the run.")
+
+let make_obs ~trace_out ~metrics =
+  if Option.is_some trace_out || metrics then Obs.create () else Obs.disabled
+
+let finish_obs obs ~trace_out ~metrics =
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+      Trace_export.write_chrome obs ~path;
+      Diag.printf "trace written to %s (%d spans)\n" path
+        (List.length (Obs.spans obs)));
+  if metrics then
+    let table = Trace_export.metrics_table obs in
+    if table <> "" then Asyncolor_obs.Sink.emit table
+
+(* Elapsed seconds for the stderr rate diagnostics, off the obs layer's
+   monotonic clock so a suspended or ntp-stepped run can't go negative. *)
+let elapsed_s t0 = Int64.to_float (Int64.sub (Oclock.monotonic ()) t0) /. 1e9
+
 let run_cmd =
   let doc = "run one execution and print the colouring" in
   let f alg n seed idents_kind adv_kind graph_kind max_steps verbose =
@@ -343,7 +390,8 @@ let check_cmd =
              with $(b,--checkpoint) and restart with $(b,--resume).")
   in
   let f alg idents mode max_configs jobs ckpt_path ckpt_every resume time_s
-      mem_mb kill_after =
+      mem_mb kill_after trace_out metrics =
+    let obs = make_obs ~trace_out ~metrics in
     let idents = Array.of_list idents in
     let n = Array.length idents in
     if n < 3 then failwith "need at least 3 identifiers";
@@ -371,7 +419,7 @@ let check_cmd =
         let v = Checker.check ~equal:(fun a b -> a = b) ~in_palette graph outs in
         if Checker.ok v then None else Some (Format.asprintf "%a" Checker.pp v)
       in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Oclock.monotonic () in
       let r =
         Stop.with_signals (fun () ->
             match resume with
@@ -382,17 +430,18 @@ let check_cmd =
                   info.ri_configs info.ri_pending
                   (Graph.n info.ri_graph);
                 Exp.explore_resume ~jobs ?checkpoint ?budget ~stop
-                  ~check_outputs:(coloring_check info.ri_graph) path
+                  ~check_outputs:(coloring_check info.ri_graph) ~obs path
             | None ->
                 let graph = Builders.cycle n in
                 Exp.explore ~mode ~max_configs ~jobs ?checkpoint ?budget ~stop
-                  ~check_outputs:(coloring_check graph) graph ~idents)
+                  ~check_outputs:(coloring_check graph) ~obs graph ~idents)
       in
-      let dt = Unix.gettimeofday () -. t0 in
+      let dt = elapsed_s t0 in
       Diag.printf "explored %d configs in %.3fs (%.0f configs/sec, jobs=%d)\n"
         r.configs dt
         (float_of_int r.configs /. Float.max dt 1e-9)
         jobs;
+      finish_obs obs ~trace_out ~metrics;
       (match budget with
       | Some b when Budget.exceeded b ->
           Diag.printf "budget exceeded (%s): truncated report\n"
@@ -419,12 +468,13 @@ let check_cmd =
     Term.(
       const f $ alg_arg $ idents_csv $ mode_arg $ max_configs_arg $ jobs_arg
       $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ time_budget_arg
-      $ mem_budget_arg $ kill_after_arg)
+      $ mem_budget_arg $ kill_after_arg $ trace_out_arg $ metrics_arg)
 
 let lockhunt_cmd =
   let doc = "attack every adjacent pair with the isolate-pair schedule (finding F1)" in
-  let f alg n seed idents_kind jobs time_s mem_mb =
+  let f alg n seed idents_kind jobs time_s mem_mb trace_out metrics =
     announce_seed seed;
+    let obs = make_obs ~trace_out ~metrics in
     let graph = Builders.cycle n in
     let idents = make_idents ~kind:idents_kind ~seed n in
     let budget = make_budget ~time_s ~mem_mb in
@@ -435,12 +485,12 @@ let lockhunt_cmd =
     let hunt (type s r) (module P : Asyncolor_kernel.Protocol.S
           with type state = s and type register = r) =
       let module H = Asyncolor_check.Lockhunt.Make (P) in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Oclock.monotonic () in
       let findings =
         Stop.with_signals (fun () ->
-            H.hunt ~jobs ?budget ~stop:Stop.requested graph ~idents)
+            H.hunt ~jobs ?budget ~stop:Stop.requested ~obs graph ~idents)
       in
-      let dt = Unix.gettimeofday () -. t0 in
+      let dt = elapsed_s t0 in
       Diag.printf "%d probes in %.3fs (%.0f probes/sec, jobs=%d)\n"
         (List.length findings) dt
         (float_of_int (List.length findings) /. Float.max dt 1e-9)
@@ -467,12 +517,13 @@ let lockhunt_cmd =
     | 2 -> hunt (module Asyncolor.Algorithm2.P)
     | 3 -> hunt (module Asyncolor.Algorithm3.P)
     | n -> failwith (Printf.sprintf "lockhunt supports algorithms 1-3, not %d" n));
-    Table.print table
+    Table.print table;
+    finish_obs obs ~trace_out ~metrics
   in
   Cmd.v (Cmd.info "lockhunt" ~doc)
     Term.(
       const f $ alg_arg $ n_arg $ seed_arg $ idents_arg $ jobs_arg
-      $ time_budget_arg $ mem_budget_arg)
+      $ time_budget_arg $ mem_budget_arg $ trace_out_arg $ metrics_arg)
 
 let fuzz_cmd =
   let doc = "randomized fault-injection fuzzing with replayable, shrunk traces" in
@@ -527,7 +578,7 @@ let fuzz_cmd =
           ~doc:"Write the first finding's shrunk trace to PATH.")
   in
   let f seed execs max_n algos mutant corpus min_out jobs time_s mem_mb
-      list_mutants =
+      list_mutants trace_out metrics =
     if list_mutants then
       List.iter
         (fun (i : Fz.Mutation.info) ->
@@ -547,13 +598,15 @@ let fuzz_cmd =
           algos
       in
       let budget = make_budget ~time_s ~mem_mb in
-      let t0 = Unix.gettimeofday () in
+      let obs = make_obs ~trace_out ~metrics in
+      let t0 = Oclock.monotonic () in
       let report =
         Stop.with_signals (fun () ->
             Fz.Fuzz.campaign ~jobs ?budget ~stop:Stop.requested
-              ?corpus_dir:corpus ?mutation:mutant ~algos ~max_n ~seed ~execs ())
+              ?corpus_dir:corpus ?mutation:mutant ~algos ~max_n ~obs ~seed
+              ~execs ())
       in
-      let dt = Unix.gettimeofday () -. t0 in
+      let dt = elapsed_s t0 in
       Diag.printf "%d execs in %.3fs (%.0f execs/sec, jobs=%d)\n"
         report.execs_done dt
         (float_of_int report.execs_done /. Float.max dt 1e-9)
@@ -585,6 +638,9 @@ let fuzz_cmd =
         report.seed report.execs_done report.execs_requested
         (List.length report.findings)
         report.complete;
+      (* Before the verdict: findings exit 1 below, and a trace of the
+         failing campaign is precisely the artifact worth keeping. *)
+      finish_obs obs ~trace_out ~metrics;
       (* In mutation mode a finding is the expected outcome (the detectors
          caught the planted bug); in normal mode it is a real violation. *)
       match (mutant, report.findings) with
@@ -600,7 +656,7 @@ let fuzz_cmd =
     Term.(
       const f $ seed_arg $ execs_arg $ max_n_arg $ algos_arg $ mutant_arg
       $ corpus_arg $ min_out_arg $ jobs_arg $ time_budget_arg $ mem_budget_arg
-      $ list_mutants_arg)
+      $ list_mutants_arg $ trace_out_arg $ metrics_arg)
 
 let replay_cmd =
   let doc = "replay an explicit schedule (e.g. a lasso printed by check) or a fuzz trace" in
@@ -648,6 +704,26 @@ let replay_cmd =
       const f $ alg_arg $ n_arg $ seed_arg $ idents_arg $ sched_arg $ trace_arg
       $ verbose_arg)
 
+let tracecheck_cmd =
+  let doc = "validate a Chrome trace_event file written by --trace-out" in
+  let path_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"PATH" ~doc:"Trace file to validate.")
+  in
+  let f path =
+    (* Same spirit as Checkpoint's digest check, for an artifact whose
+       reader (Perfetto) we do not control: reject truncation or
+       corruption with a one-line reason.  Exit 0 valid, 2 invalid. *)
+    match Trace_export.validate path with
+    | Ok events -> Printf.printf "trace ok: %d events\n" events
+    | Error msg ->
+        Printf.eprintf "invalid trace %s: %s\n" path msg;
+        exit 2
+  in
+  Cmd.v (Cmd.info "tracecheck" ~doc) Term.(const f $ path_arg)
+
 let experiments_cmd =
   let doc = "run the reproduction experiments (E1-E13)" in
   let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sizes.") in
@@ -684,5 +760,6 @@ let () =
             lockhunt_cmd;
             fuzz_cmd;
             replay_cmd;
+            tracecheck_cmd;
             experiments_cmd;
           ]))

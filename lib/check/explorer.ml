@@ -3,6 +3,33 @@ module Domain_pool = Asyncolor_util.Domain_pool
 module Checkpoint = Asyncolor_resilience.Checkpoint
 module Budget = Asyncolor_resilience.Budget
 module Diag = Asyncolor_resilience.Diag
+module Obs = Asyncolor_obs.Obs
+
+(* The explorer's observability handles, resolved once per run so the hot
+   paths touch pre-looked-up counters (an atomic add each), never the
+   sink's name registry.  [oc_configs] counts dense-id registrations and
+   therefore always equals [report.configs] for a fresh (non-resumed)
+   packed run — a property the qcheck suite pins at jobs 1/2/4. *)
+type octx = {
+  o : Obs.t;
+  oc_configs : Obs.Counter.t;
+  oc_transitions : Obs.Counter.t;
+  oc_levels : Obs.Counter.t;
+  oc_ckpt_saves : Obs.Counter.t;
+  og_frontier : Obs.Gauge.t;  (* widest BFS frontier *)
+  og_shard_max : Obs.Gauge.t;  (* most occupied intern shard *)
+}
+
+let make_octx o =
+  {
+    o;
+    oc_configs = Obs.counter o "explorer.configs";
+    oc_transitions = Obs.counter o "explorer.transitions";
+    oc_levels = Obs.counter o "explorer.levels";
+    oc_ckpt_saves = Obs.counter o "checkpoint.saves";
+    og_frontier = Obs.gauge o "explorer.frontier_max";
+    og_shard_max = Obs.gauge o "explorer.shard_max";
+  }
 
 (* --- activation subsets: list form (reference) and packed form --------- *)
 
@@ -217,17 +244,20 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
     done;
     !best
 
-  let finish_report ~n (p : packed) =
+  let finish_report ~octx ~n (p : packed) =
     let safety =
       List.map
         (fun (message, id) ->
           { message; schedule = schedule_to p.parent_pred p.parent_mask id })
         p.safety_raw
     in
-    let livelock, finish = detect_livelock p in
+    let livelock, finish =
+      Obs.span octx.o "analyze.livelock" (fun () -> detect_livelock p)
+    in
     let wait_free = livelock = None in
     let worst =
-      if (not wait_free) || not p.complete then -1 else exact_worst ~n p finish
+      if (not wait_free) || not p.complete then -1
+      else Obs.span octx.o "analyze.worstcase" (fun () -> exact_worst ~n p finish)
     in
     {
       configs = p.total;
@@ -402,11 +432,13 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
     checkpoint : (string * int) option;
     budget : Budget.t option;
     stop : (configs:int -> bool) option;
+    octx : octx;
   }
 
-  let register_st st config =
+  let register_st ~octx st config =
     let id = st.s_next_id in
     st.s_next_id <- id + 1;
+    Obs.Counter.incr octx.oc_configs;
     Vec.push st.s_parent_pred (-1);
     Vec.push st.s_parent_mask 0;
     if E.config_unfinished_mask config = 0 then
@@ -476,6 +508,11 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
   let ckpt_version = 1
 
   let save_ckpt ~params ~graph ~idents st ~keys ~pending path =
+    Obs.Counter.incr params.octx.oc_ckpt_saves;
+    Obs.span params.octx.o
+      ~args:[ ("configs", string_of_int st.s_next_id) ]
+      "checkpoint.save"
+    @@ fun () ->
     Checkpoint.save ~path ~version:ckpt_version
       {
         ck_protocol = P.name;
@@ -556,11 +593,12 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
               let succ = E.snapshot engine in
               let key = E.config_key succ in
               st.s_transitions <- st.s_transitions + 1;
+              Obs.Counter.incr params.octx.oc_transitions;
               let vid, fresh =
                 match E.Key_tbl.find_opt tbl key with
                 | Some id -> (id, false)
                 | None ->
-                    let id = register_st st succ in
+                    let id = register_st ~octx:params.octx st succ in
                     Queue.add (id, succ) queue;
                     E.Key_tbl.add tbl key id;
                     (id, true)
@@ -596,7 +634,7 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
     let queue = Queue.create () in
     let engine = E.create graph ~idents in
     let initial = E.snapshot engine in
-    let root_id = register_st st initial in
+    let root_id = register_st ~octx:params.octx st initial in
     Queue.add (root_id, initial) queue;
     E.Key_tbl.add tbl (E.config_key initial) root_id;
     safety_check ~params st engine root_id initial;
@@ -666,12 +704,29 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
       | _ -> ()
     in
     let stopped = ref false in
-    Domain_pool.with_pool ~jobs (fun pool ->
+    let octx = params.octx in
+    let level = ref 0 in
+    Domain_pool.with_pool ~obs:octx.o ~jobs (fun pool ->
         let frontier_ids = ref frontier_ids0 in
         let frontier_cfgs = ref frontier_cfgs0 in
         while Array.length !frontier_ids > 0 && not !stopped do
           let fids = !frontier_ids and fcfgs = !frontier_cfgs in
           let flen = Array.length fids in
+          (* One span per BFS level, with the three phases as explicit
+             child scopes — "where did the time go" for a level reads
+             directly off the trace. *)
+          let sp_level =
+            Obs.begin_span octx.o
+              ~args:
+                [
+                  ("level", string_of_int !level);
+                  ("frontier", string_of_int flen);
+                  ("configs", string_of_int st.s_next_id);
+                ]
+              "bfs.level"
+          in
+          Obs.Counter.incr octx.oc_levels;
+          Obs.Gauge.max_ octx.og_frontier flen;
           maybe_checkpoint ~force:false ~fids ~fcfgs ();
           if should_stop ~params st then stopped := true
           else if st.s_next_id >= params.max_configs then begin
@@ -695,6 +750,7 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
                   (s, flen * s / jobs, flen * (s + 1) / jobs))
             in
             let expanded =
+              Obs.span octx.o ~parent:sp_level "bfs.expand" @@ fun () ->
               Domain_pool.map pool
                 (fun (s, lo, hi) ->
                   let eng = engines.(s) in
@@ -738,58 +794,69 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
             cand_off.(flen) <- !k;
             (* phase B *)
             let verdict = Array.make (max 1 ncands) (-1) in
-            ignore
-              (Domain_pool.map pool
-                 (fun shard ->
-                   let pending = E.Key_tbl.create 64 in
-                   for j = 0 to ncands - 1 do
-                     let _, key, _ = cands.(j) in
-                     if Shards.shard_of tbl key = shard then
-                       match Shards.find_opt_in tbl ~shard key with
-                       | Some id -> verdict.(j) <- -id - 2
-                       | None -> (
-                           match E.Key_tbl.find_opt pending key with
-                           | Some j' -> verdict.(j) <- j'
-                           | None -> E.Key_tbl.add pending key j)
-                   done)
-                 (Array.init nshards Fun.id));
+            (Obs.span octx.o ~parent:sp_level
+               ~args:[ ("candidates", string_of_int ncands) ]
+               "bfs.intern"
+            @@ fun () ->
+             ignore
+               (Domain_pool.map pool
+                  (fun shard ->
+                    let pending = E.Key_tbl.create 64 in
+                    for j = 0 to ncands - 1 do
+                      let _, key, _ = cands.(j) in
+                      if Shards.shard_of tbl key = shard then
+                        match Shards.find_opt_in tbl ~shard key with
+                        | Some id -> verdict.(j) <- -id - 2
+                        | None -> (
+                            match E.Key_tbl.find_opt pending key with
+                            | Some j' -> verdict.(j) <- j'
+                            | None -> E.Key_tbl.add pending key j)
+                    done)
+                  (Array.init nshards Fun.id)));
             (* phase C *)
-            let resolved = Array.make (max 1 ncands) (-1) in
-            for f = 0 to flen - 1 do
-              let uid = fids.(f) in
-              for j = cand_off.(f) to cand_off.(f + 1) - 1 do
-                if st.s_next_id >= params.max_configs then
-                  st.s_complete <- false
-                else begin
-                  let mask, key, config = cands.(j) in
-                  st.s_transitions <- st.s_transitions + 1;
-                  let vid =
-                    let v = verdict.(j) in
-                    if v <= -2 then -v - 2
-                    else if v >= 0 then resolved.(v)
-                    else begin
-                      let id = register_st st config in
-                      Vec.push next_ids id;
-                      Vec.push next_cfgs config;
-                      Shards.add tbl key id;
-                      Vec.set st.s_parent_pred id uid;
-                      Vec.set st.s_parent_mask id mask;
-                      check id config;
-                      resolved.(j) <- id;
-                      id
-                    end
-                  in
-                  Vec.push st.s_adj_data mask;
-                  Vec.push st.s_adj_data vid
-                end
-              done;
-              Vec.push st.s_adj_off (Vec.length st.s_adj_data)
-            done;
+            (Obs.span octx.o ~parent:sp_level "bfs.merge" @@ fun () ->
+             let resolved = Array.make (max 1 ncands) (-1) in
+             for f = 0 to flen - 1 do
+               let uid = fids.(f) in
+               for j = cand_off.(f) to cand_off.(f + 1) - 1 do
+                 if st.s_next_id >= params.max_configs then
+                   st.s_complete <- false
+                 else begin
+                   let mask, key, config = cands.(j) in
+                   st.s_transitions <- st.s_transitions + 1;
+                   Obs.Counter.incr octx.oc_transitions;
+                   let vid =
+                     let v = verdict.(j) in
+                     if v <= -2 then -v - 2
+                     else if v >= 0 then resolved.(v)
+                     else begin
+                       let id = register_st ~octx st config in
+                       Vec.push next_ids id;
+                       Vec.push next_cfgs config;
+                       Shards.add tbl key id;
+                       Vec.set st.s_parent_pred id uid;
+                       Vec.set st.s_parent_mask id mask;
+                       check id config;
+                       resolved.(j) <- id;
+                       id
+                     end
+                   in
+                   Vec.push st.s_adj_data mask;
+                   Vec.push st.s_adj_data vid
+                 end
+               done;
+               Vec.push st.s_adj_off (Vec.length st.s_adj_data)
+             done);
+            if Obs.enabled octx.o then
+              Obs.Gauge.max_ octx.og_shard_max
+                (Array.fold_left max 0 (Shards.shard_lengths tbl));
             frontier_ids := Vec.to_array next_ids;
             frontier_cfgs := Vec.to_array next_cfgs;
             Vec.clear next_ids;
             Vec.clear next_cfgs
-          end
+          end;
+          Obs.end_span octx.o sp_level;
+          incr level
         done;
         if !stopped then begin
           maybe_checkpoint ~force:true ~fids:!frontier_ids
@@ -809,18 +876,21 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
     let tbl = Shards.create ~shards:(max 1 jobs) 1024 in
     let engine = E.create graph ~idents in
     let initial = E.snapshot engine in
-    let root_id = register_st st initial in
+    let root_id = register_st ~octx:params.octx st initial in
     Shards.add tbl (E.config_key initial) root_id;
     safety_check ~params st engine root_id initial;
     run_par ~params ~jobs ~graph ~idents st tbl [| root_id |] [| initial |]
 
   let explore ?(max_configs = 500_000) ?(max_violations = 5)
       ?(mode = `All_subsets) ?(impl = `Hashcons) ?(jobs = 1) ?checkpoint
-      ?budget ?stop ?check_outputs ?check_config graph ~idents =
+      ?budget ?stop ?check_outputs ?check_config ?(obs = Obs.disabled) graph
+      ~idents =
     let n = Asyncolor_topology.Graph.n graph in
     if n > Sys.int_size - 1 then
       invalid_arg "Explorer.explore: packed activation masks need n <= 62";
+    let octx = make_octx obs in
     let packed =
+      Obs.span obs ~args:[ ("n", string_of_int n) ] "explore" @@ fun () ->
       match impl with
       | `Reference ->
           if
@@ -843,12 +913,13 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
               checkpoint;
               budget;
               stop;
+              octx;
             }
           in
           if jobs <= 1 then explore_seq ~params graph ~idents
           else explore_par ~params ~jobs graph ~idents
     in
-    finish_report ~n packed
+    finish_report ~octx ~n packed
 
   (* --- resuming from a checkpoint -------------------------------------- *)
 
@@ -898,8 +969,9 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
     }
 
   let explore_resume ?(jobs = 1) ?checkpoint ?budget ?stop ?check_outputs
-      ?check_config path =
-    let c = load_ckpt path in
+      ?check_config ?(obs = Obs.disabled) path =
+    let octx = make_octx obs in
+    let c = Obs.span obs "checkpoint.load" (fun () -> load_ckpt path) in
     let graph = c.ck_graph and idents = c.ck_idents in
     let n = Asyncolor_topology.Graph.n graph in
     let params =
@@ -912,6 +984,7 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
         checkpoint;
         budget;
         stop;
+        octx;
       }
     in
     let st = state_of_ckpt c in
@@ -935,7 +1008,7 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
           (Array.map snd c.ck_pending)
       end
     in
-    finish_report ~n packed
+    finish_report ~octx ~n packed
 
   let pp_report ppf r =
     Format.fprintf ppf

@@ -92,6 +92,7 @@ module Make (P : Asyncolor_kernel.Protocol.S) : sig
     ?stop:(configs:int -> bool) ->
     ?check_outputs:(P.output option array -> string option) ->
     ?check_config:(E.t -> string option) ->
+    ?obs:Asyncolor_obs.Obs.t ->
     Asyncolor_topology.Graph.t ->
     idents:int array ->
     report
@@ -146,6 +147,24 @@ module Make (P : Asyncolor_kernel.Protocol.S) : sig
       (unless every pending configuration was terminal anyway) — exactly
       the [max_configs] contract.
 
+      {b Observability} ([obs], default {!Asyncolor_obs.Obs.disabled}).
+      The run is traced out-of-band — never through stdout, so the
+      deterministic-output guarantee is untouched: the report is
+      byte-identical with tracing on or off.  The whole call is an
+      ["explore"] span; the parallel builder emits one ["bfs.level"] span
+      per BFS level with ["bfs.expand"]/["bfs.intern"]/["bfs.merge"]
+      child scopes and the pool's per-domain lanes underneath; checkpoint
+      writes are ["checkpoint.save"] spans and the final analyses
+      ["analyze.livelock"]/["analyze.worstcase"].  Counters:
+      ["explorer.configs"] equals {!report.configs} exactly on fresh
+      [`Hashcons] runs, any [jobs] (on resume it counts only newly
+      interned configurations); ["explorer.transitions"] likewise tracks
+      {!report.transitions}; plus ["explorer.levels"],
+      ["checkpoint.saves"], and the ["explorer.frontier_max"] /
+      ["explorer.shard_max"] gauges.  The [`Reference] oracle is
+      deliberately uninstrumented — its counters stay 0 — so differential
+      tests compare protocol behaviour, not plumbing.
+
       @raise Invalid_argument when the graph has more than
       [Sys.int_size - 1] nodes (activation masks could not name every
       process). *)
@@ -187,6 +206,7 @@ module Make (P : Asyncolor_kernel.Protocol.S) : sig
     ?stop:(configs:int -> bool) ->
     ?check_outputs:(P.output option array -> string option) ->
     ?check_config:(E.t -> string option) ->
+    ?obs:Asyncolor_obs.Obs.t ->
     string ->
     report
   (** [explore_resume path] continues the exploration stored at [path] to
@@ -196,7 +216,10 @@ module Make (P : Asyncolor_kernel.Protocol.S) : sig
       [max_violations] — come from the checkpoint; only the things a
       checkpoint cannot serialise are re-supplied: the safety closures
       (which must be the same predicates for the byte-identity guarantee
-      to cover violation messages) and the degree of parallelism.
+      to cover violation messages), the degree of parallelism, and the
+      observability sink ([obs] as in {!explore}, with an extra
+      ["checkpoint.load"] span; the ["explorer.configs"] counter counts
+      only configurations interned {e after} the resume point).
       @raise Asyncolor_resilience.Checkpoint.Corrupt as {!resume_info}. *)
 
   val pp_report : Format.formatter -> report -> unit

@@ -2,6 +2,7 @@ module Graph = Asyncolor_topology.Graph
 module Adversary = Asyncolor_kernel.Adversary
 module Domain_pool = Asyncolor_util.Domain_pool
 module Budget = Asyncolor_resilience.Budget
+module Obs = Asyncolor_obs.Obs
 
 module Make (P : Asyncolor_kernel.Protocol.S) = struct
   module E = Asyncolor_kernel.Engine.Make (P)
@@ -36,9 +37,17 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
     let engine = E.create graph ~idents in
     probe_restored ~max_steps engine (E.snapshot engine) pair
 
-  let hunt ?max_steps ?(jobs = 1) ?budget ?stop graph ~idents =
+  let hunt ?max_steps ?(jobs = 1) ?budget ?stop ?(obs = Obs.disabled) graph
+      ~idents =
     let max_steps =
       match max_steps with Some m -> m | None -> default_steps (Graph.n graph)
+    in
+    let c_probes = Obs.counter obs "lockhunt.probes" in
+    let c_locked = Obs.counter obs "lockhunt.locked" in
+    let note f =
+      Obs.Counter.incr c_probes;
+      if f.locked then Obs.Counter.incr c_locked;
+      f
     in
     (* Polled between probes (and inside every parallel slice): a hunt cut
        short by a budget or a stop request returns the findings gathered so
@@ -51,6 +60,14 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
     in
     let edges = Array.of_list (Graph.edges graph) in
     let nedges = Array.length edges in
+    Obs.span obs
+      ~args:
+        [
+          ("edges", string_of_int nedges);
+          ("n", string_of_int (Graph.n graph));
+        ]
+      "lockhunt"
+    @@ fun () ->
     if jobs <= 1 || nedges <= 1 then begin
       let engine = E.create graph ~idents in
       let initial = E.snapshot engine in
@@ -59,7 +76,7 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
          Array.iter
            (fun pair ->
              if should_stop () then raise Exit;
-             acc := probe_restored ~max_steps engine initial pair :: !acc)
+             acc := note (probe_restored ~max_steps engine initial pair) :: !acc)
            edges
        with Exit -> ());
       List.rev !acc
@@ -74,7 +91,7 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
         Array.init jobs (fun s -> (nedges * s / jobs, nedges * (s + 1) / jobs))
       in
       let per_slice =
-        Domain_pool.with_pool ~jobs (fun pool ->
+        Domain_pool.with_pool ~obs ~jobs (fun pool ->
             Domain_pool.map pool
               (fun (lo, hi) ->
                 let engine = E.create graph ~idents in
@@ -84,7 +101,7 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
                    for i = lo to hi - 1 do
                      if should_stop () then raise Exit;
                      acc :=
-                       probe_restored ~max_steps engine initial edges.(i)
+                       note (probe_restored ~max_steps engine initial edges.(i))
                        :: !acc
                    done
                  with Exit -> ());

@@ -27,6 +27,7 @@ module Make (P : Asyncolor_kernel.Protocol.S) : sig
     ?jobs:int ->
     ?budget:Asyncolor_resilience.Budget.t ->
     ?stop:(unit -> bool) ->
+    ?obs:Asyncolor_obs.Obs.t ->
     Asyncolor_topology.Graph.t ->
     idents:int array ->
     finding list
@@ -42,7 +43,13 @@ module Make (P : Asyncolor_kernel.Protocol.S) : sig
       [budget] and [stop] are polled between probes: when either fires
       the hunt returns the findings gathered so far instead of raising —
       a result shorter than the edge list means the hunt was cut short
-      (each parallel slice keeps the prefix it had probed). *)
+      (each parallel slice keeps the prefix it had probed).
+
+      [obs] (default {!Asyncolor_obs.Obs.disabled}) wraps the hunt in a
+      ["lockhunt"] span, traces the pool when [jobs > 1], and accumulates
+      the ["lockhunt.probes"]/["lockhunt.locked"] counters (probes
+      performed, including those of a truncated hunt, and how many
+      locked). *)
 
   val locked : finding list -> (int * int) list
   (** The pairs that locked. *)

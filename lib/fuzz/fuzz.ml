@@ -1,6 +1,29 @@
 module Prng = Asyncolor_util.Prng
 module Domain_pool = Asyncolor_util.Domain_pool
 module Budget = Asyncolor_resilience.Budget
+module Obs = Asyncolor_obs.Obs
+
+(* The campaign's observability context.  Counters are per-domain sharded
+   in the sink, so the parallel execs never contend on them; everything is
+   out-of-band, leaving the seed-determinism of the report untouched. *)
+type octx = {
+  o : Obs.t;
+  oc_execs : Obs.Counter.t;
+  oc_findings : Obs.Counter.t;
+  oc_shrink_execs : Obs.Counter.t;
+  oc_detector_ns : Obs.Counter.t;
+  og_eps : Obs.Gauge.t;  (** whole-campaign execs per second *)
+}
+
+let make_octx o =
+  {
+    o;
+    oc_execs = Obs.counter o "fuzz.execs";
+    oc_findings = Obs.counter o "fuzz.findings";
+    oc_shrink_execs = Obs.counter o "fuzz.shrink_execs";
+    oc_detector_ns = Obs.counter o "fuzz.detector_ns";
+    og_eps = Obs.gauge o "fuzz.execs_per_sec";
+  }
 
 type finding = {
   exec : int;
@@ -25,7 +48,8 @@ type report = {
    simple odd-multiplier combine is enough to decorrelate streams. *)
 let exec_seed ~seed i = seed lxor (i * 0x9E3779B97F4A7C1)
 
-let run_one ?algos ?mutation ?max_n ~seed i =
+let run_one ?(obs = Obs.disabled) ?algos ?mutation ?max_n ~seed i =
+  let octx = make_octx obs in
   let prng = Prng.create ~seed:(exec_seed ~seed i) in
   (* A mutation is compiled into one specific algorithm, so restrict the
      generator to that algorithm's scenarios. *)
@@ -40,13 +64,31 @@ let run_one ?algos ?mutation ?max_n ~seed i =
         | None -> invalid_arg (Printf.sprintf "Fuzz: unknown mutation %S" m))
   in
   let sc = Scenario.generate ?algos ?mutation ?max_n prng in
-  let outcome = Exec.run sc in
+  Obs.Counter.incr octx.oc_execs;
+  (* Detector time — [Exec.run] is generation-free, purely the invariant
+     suite over the scenario — accumulates in nanoseconds so the metrics
+     table separates detection cost from generation + shrinking. *)
+  let timed_run sc =
+    let t0 = Obs.now obs in
+    let outcome = Exec.run sc in
+    Obs.Counter.add octx.oc_detector_ns
+      (Int64.to_int (Int64.sub (Obs.now obs) t0));
+    outcome
+  in
+  let outcome = timed_run sc in
   match outcome.Exec.violations with
   | [] -> None
   | first :: _ as violations ->
       let invariant = first.Exec.invariant in
-      let shrunk_sc, shrink_stats = Shrink.minimize sc ~invariant in
-      let shrunk_out = Exec.run shrunk_sc in
+      Obs.Counter.incr octx.oc_findings;
+      let shrunk_sc, shrink_stats =
+        Obs.span obs
+          ~args:[ ("exec", string_of_int i); ("invariant", invariant) ]
+          "fuzz.shrink"
+          (fun () -> Shrink.minimize sc ~invariant)
+      in
+      Obs.Counter.add octx.oc_shrink_execs shrink_stats.Shrink.execs;
+      let shrunk_out = timed_run shrunk_sc in
       let pairs vs =
         List.map (fun (v : Exec.violation) -> (v.invariant, v.message)) vs
       in
@@ -77,7 +119,8 @@ let save_finding ~dir f =
   Trace.save ~path:min f.shrunk
 
 let campaign ?(jobs = 1) ?budget ?stop ?corpus_dir ?algos ?mutation ?max_n
-    ~seed ~execs () =
+    ?(obs = Obs.disabled) ~seed ~execs () =
+  let octx = make_octx obs in
   let should_stop () =
     (match stop with Some f -> f () | None -> false)
     || match budget with Some b -> Budget.exceeded b | None -> false
@@ -93,28 +136,47 @@ let campaign ?(jobs = 1) ?budget ?stop ?corpus_dir ?algos ?mutation ?max_n
         match corpus_dir with None -> () | Some dir -> save_finding ~dir f)
       fs
   in
-  Domain_pool.with_pool ~jobs (fun pool ->
-      let lo = ref 0 in
-      while !lo < execs do
-        if should_stop () then begin
-          complete := false;
-          lo := execs
-        end
-        else begin
-          let hi = min execs (!lo + batch) in
-          let indices = Array.init (hi - !lo) (fun k -> !lo + k) in
-          let results =
-            Domain_pool.map pool
-              (fun i -> run_one ?algos ?mutation ?max_n ~seed i)
-              indices
-          in
-          Array.iter
-            (function Some f -> record [ f ] | None -> ())
-            results;
-          done_ := hi;
-          lo := hi
-        end
-      done);
+  let t0 = Obs.now obs in
+  (Obs.span obs
+     ~args:[ ("seed", string_of_int seed); ("execs", string_of_int execs) ]
+     "fuzz.campaign"
+  @@ fun () ->
+   Domain_pool.with_pool ~obs ~jobs (fun pool ->
+       let lo = ref 0 in
+       while !lo < execs do
+         if should_stop () then begin
+           complete := false;
+           lo := execs
+         end
+         else begin
+           let hi = min execs (!lo + batch) in
+           let indices = Array.init (hi - !lo) (fun k -> !lo + k) in
+           let results =
+             Obs.span obs
+               ~args:
+                 [ ("lo", string_of_int !lo); ("hi", string_of_int hi) ]
+               "fuzz.batch"
+               (fun () ->
+                 Domain_pool.map pool
+                   (fun i -> run_one ~obs ?algos ?mutation ?max_n ~seed i)
+                   indices)
+           in
+           Array.iter
+             (function Some f -> record [ f ] | None -> ())
+             results;
+           done_ := hi;
+           lo := hi
+         end
+       done));
+  (* Whole-campaign throughput, generation + detection + shrinking
+     included; only meaningful on the monotonic clock (elapsed time under
+     the virtual clock is a tick count). *)
+  (if Obs.enabled obs then
+     let elapsed_ns = Int64.to_int (Int64.sub (Obs.now obs) t0) in
+     if elapsed_ns > 0 then
+       Obs.Gauge.set octx.og_eps
+         (int_of_float
+            (float_of_int !done_ /. (float_of_int elapsed_ns /. 1e9))));
   {
     seed;
     execs_requested = execs;

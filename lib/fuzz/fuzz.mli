@@ -34,6 +34,7 @@ val exec_seed : seed:int -> int -> int
     and batching. *)
 
 val run_one :
+  ?obs:Asyncolor_obs.Obs.t ->
   ?algos:Scenario.algo list ->
   ?mutation:string ->
   ?max_n:int ->
@@ -51,13 +52,25 @@ val campaign :
   ?algos:Scenario.algo list ->
   ?mutation:string ->
   ?max_n:int ->
+  ?obs:Asyncolor_obs.Obs.t ->
   seed:int ->
   execs:int ->
   unit ->
   report
 (** Run the campaign.  Findings are appended to [corpus_dir] as
     [t%04d.trace] (raw) and [t%04d.min.trace] (shrunk) keyed by exec
-    index, as they are found — an interrupted campaign keeps its corpus. *)
+    index, as they are found — an interrupted campaign keeps its corpus.
+
+    [obs] (default {!Asyncolor_obs.Obs.disabled}) traces the campaign
+    out-of-band (the report stays a pure function of [seed]): a
+    ["fuzz.campaign"] span containing one ["fuzz.batch"] span per pool
+    batch, a ["fuzz.shrink"] span per finding, and the pool's per-domain
+    lanes.  Counters: ["fuzz.execs"] (scenarios generated and executed),
+    ["fuzz.findings"], ["fuzz.shrink_execs"] (candidate re-executions
+    spent minimising), ["fuzz.detector_ns"] (cumulative nanoseconds in
+    the invariant suite, across all domains) and the
+    ["fuzz.execs_per_sec"] gauge (whole-campaign throughput; meaningful
+    on the monotonic clock only). *)
 
 val trace_paths : dir:string -> int -> string * string
 (** [(raw, shrunk)] corpus paths for an exec index. *)

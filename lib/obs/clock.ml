@@ -1,0 +1,25 @@
+type t = unit -> int64
+
+(* [Unix.gettimeofday] is not monotone (NTP steps, and two domains can
+   observe the microsecond granularity in either order), so reads go
+   through a process-wide high-water mark: a CAS loop either publishes a
+   later time or returns the latest one already handed out.  This keeps
+   every span's end >= start and keeps timelines consistent across
+   domains without a C stub. *)
+let high_water = Atomic.make 0L
+
+let monotonic () =
+  let now = Int64.of_float (Unix.gettimeofday () *. 1e9) in
+  let rec clamp () =
+    let prev = Atomic.get high_water in
+    if Int64.compare now prev <= 0 then prev
+    else if Atomic.compare_and_set high_water prev now then now
+    else clamp ()
+  in
+  clamp ()
+
+let virtual_ ?(step_ns = 1000L) () =
+  let ticks = Atomic.make 0 in
+  fun () ->
+    let k = Atomic.fetch_and_add ticks 1 in
+    Int64.mul (Int64.of_int k) step_ns

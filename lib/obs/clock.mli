@@ -1,0 +1,27 @@
+(** Injected time sources for the observability layer.
+
+    Every timestamp the obs layer records comes from a [t] passed at sink
+    creation, never from a direct syscall, so the choice of clock is a
+    single decision per run: {!monotonic} for production traces,
+    {!virtual_} for tests — under a virtual clock every exported artifact
+    (Chrome trace, metrics table) is byte-deterministic, which is what
+    lets the exporter tests be golden byte-for-byte diffs in the same
+    spirit as the CLI [--jobs] diff rules. *)
+
+type t = unit -> int64
+(** A clock is a function returning nanoseconds.  Successive calls must
+    be non-decreasing; the origin is arbitrary (only differences and
+    relative order are exported). *)
+
+val monotonic : t
+(** Wall-clock based, clamped to be non-decreasing across all domains: a
+    read that would go backwards (NTP step, coarse timer granularity
+    between domains) returns the highest value handed out so far instead.
+    Shared process-wide — all sinks using [monotonic] draw from one
+    timeline. *)
+
+val virtual_ : ?step_ns:int64 -> unit -> t
+(** A fresh deterministic clock starting at 0 and advancing by [step_ns]
+    (default 1000, i.e. 1µs) on every read, atomically — a fixed program
+    against a fresh virtual clock always sees the same timestamps, even
+    if some reads happen on other domains. *)

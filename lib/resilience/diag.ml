@@ -1,17 +1,9 @@
-let mutex = Mutex.create ()
-let channel = ref stderr
+(* Diagnostics delegate to the observability layer's sink: line
+   atomicity (one mutex-guarded write + flush per message) is enforced in
+   exactly one place, shared with the [--metrics] table and any other
+   out-of-band text, so Diag rate lines and obs output can never shear
+   each other mid-line. *)
 
-let set_channel oc =
-  Mutex.lock mutex;
-  channel := oc;
-  Mutex.unlock mutex
-
-let emit s =
-  Mutex.lock mutex;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock mutex)
-    (fun () ->
-      output_string !channel s;
-      flush !channel)
-
+let set_channel = Asyncolor_obs.Sink.set_channel
+let emit = Asyncolor_obs.Sink.emit
 let printf fmt = Printf.ksprintf emit fmt

@@ -1,11 +1,12 @@
 (** Line-atomic diagnostics for parallel runs.
 
-    Worker domains that print progress through bare [Printf.eprintf] can
-    interleave {e partial} lines: stderr is unbuffered per call, and one
-    logical line often spans several writes.  This module formats each
-    message to a complete string first and emits it with a single
-    mutex-guarded write + flush, so concurrent domains can at worst
-    interleave whole lines, never fragments.
+    A thin façade over {!Asyncolor_obs.Sink}, which owns the actual
+    guarantee: each message is formatted to a complete string first and
+    emitted as a single mutex-guarded write + flush, so concurrent
+    domains can at worst interleave whole lines, never fragments.
+    Because the [--metrics] table and other obs output go through the
+    same sink, a Diag rate line can never shear against them either —
+    line atomicity is enforced in exactly one place.
 
     Diagnostics are out-of-band by construction: they go to stderr (or the
     channel set by {!set_channel}), keeping stdout byte-diffable across
@@ -19,4 +20,5 @@ val emit : string -> unit
 (** Emit a pre-formatted string as one atomic write + flush. *)
 
 val set_channel : out_channel -> unit
-(** Redirect diagnostics (tests).  Default: [stderr]. *)
+(** Redirect the shared sink (tests) — affects every producer routed
+    through {!Asyncolor_obs.Sink}.  Default: [stderr]. *)

@@ -15,6 +15,8 @@
    can skip it — failures stay deterministic whatever the domain
    scheduling. *)
 
+module Obs = Asyncolor_obs.Obs
+
 type item_error = {
   index : int;  (* input index whose execution failed *)
   attempts : int;  (* executions performed, retries included *)
@@ -39,6 +41,12 @@ type t = {
   mutable batch : batch option;
   mutable stopping : bool;
   mutable domains : unit Domain.t list;
+  (* observability: spans land on the executing domain's lane, so a trace
+     shows one compute/wait timeline per pool domain; counters are
+     per-domain sharded in the sink and merged on read *)
+  obs : Obs.t;
+  c_items : Obs.Counter.t;
+  c_retries : Obs.Counter.t;
 }
 
 let default_jobs () = Domain.recommended_domain_count ()
@@ -75,15 +83,20 @@ let finish_item t b =
   Mutex.unlock t.mutex
 
 let rec worker t =
+  (* The time between finishing one item and receiving the next is queue
+     wait — exported as a "pool.wait" interval on this domain's lane, so
+     a trace separates starvation from compute. *)
+  let t0 = Obs.now t.obs in
   Mutex.lock t.mutex;
   match next_item t with
   | None -> ()
   | Some (b, i) ->
+      Obs.interval t.obs "pool.wait" ~start:t0;
       b.run_item i;
       finish_item t b;
       worker t
 
-let create ?jobs () =
+let create ?(obs = Obs.disabled) ?jobs () =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let t =
     {
@@ -94,9 +107,18 @@ let create ?jobs () =
       batch = None;
       stopping = false;
       domains = [];
+      obs;
+      c_items = Obs.counter obs "pool.items";
+      c_retries = Obs.counter obs "pool.retries";
     }
   in
-  t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t.domains <-
+    List.init (jobs - 1) (fun w ->
+        Domain.spawn (fun () ->
+            Obs.set_lane obs
+              ~tid:(Domain.self () :> int)
+              (Printf.sprintf "pool-worker-%d" (w + 1));
+            worker t));
   t
 
 let shutdown t =
@@ -126,6 +148,7 @@ let map_result t ?(retries = 0) f input =
       Mutex.unlock t.mutex
     and run_item i =
       let rec attempt k =
+        Obs.Counter.incr (if k = 1 then t.c_items else t.c_retries);
         match f input.(i) with
         | v -> results.(i) <- Some v
         | exception exn ->
@@ -133,7 +156,12 @@ let map_result t ?(retries = 0) f input =
             if k <= retries then attempt (k + 1)
             else record_error { index = i; attempts = k; error = exn; backtrace }
       in
-      attempt 1
+      if Obs.enabled t.obs then
+        Obs.span t.obs
+          ~args:[ ("item", string_of_int i) ]
+          "pool.item"
+          (fun () -> attempt 1)
+      else attempt 1
     in
     Mutex.lock t.mutex;
     if t.stopping then begin
@@ -162,9 +190,11 @@ let map_result t ?(retries = 0) f input =
       end
     in
     drain ();
+    let join0 = Obs.now t.obs in
     while not (batch_complete batch) do
       Condition.wait t.batch_done t.mutex
     done;
+    Obs.interval t.obs "pool.join" ~start:join0;
     t.batch <- None;
     Mutex.unlock t.mutex;
     match !error with
@@ -183,6 +213,6 @@ let map t ?retries f input =
 
 let map_list t f input = Array.to_list (map t f (Array.of_list input))
 
-let with_pool ?jobs f =
-  let t = create ?jobs () in
+let with_pool ?obs ?jobs f =
+  let t = create ?obs ?jobs () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -36,10 +36,18 @@ type item_error = {
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
 
-val create : ?jobs:int -> unit -> t
+val create : ?obs:Asyncolor_obs.Obs.t -> ?jobs:int -> unit -> t
 (** [create ~jobs ()] spawns [jobs - 1] worker domains (clamped to at
     least 1 job; default {!default_jobs}).  The pool is reusable across
-    many {!map} calls until {!shutdown}. *)
+    many {!map} calls until {!shutdown}.
+
+    [obs] (default {!Asyncolor_obs.Obs.disabled}) traces the pool: every
+    item execution is a ["pool.item"] span on the executing domain's
+    lane, the gap between a worker's items is a ["pool.wait"] interval,
+    the caller's wait for stragglers a ["pool.join"] interval, and the
+    ["pool.items"]/["pool.retries"] counters accumulate executions —
+    per-domain sharded, so the fan-out never contends on them.  Worker
+    lanes are named [pool-worker-N] in exported traces. *)
 
 val jobs : t -> int
 
@@ -62,6 +70,6 @@ val shutdown : t -> unit
 (** Stop and join the worker domains.  Safe to call while or after a
     batch has failed.  Subsequent {!map} calls raise [Invalid_argument]. *)
 
-val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+val with_pool : ?obs:Asyncolor_obs.Obs.t -> ?jobs:int -> (t -> 'a) -> 'a
 (** [with_pool f] runs [f] with a fresh pool and always shuts it down,
-    including on exceptions. *)
+    including on exceptions.  [obs] as in {!create}. *)

@@ -31,5 +31,7 @@ module Make (H : Hashtbl.HashedType) = struct
   let length t =
     Array.fold_left (fun acc tbl -> acc + Tbl.length tbl) 0 t.tables
 
+  let shard_lengths t = Array.map Tbl.length t.tables
+
   let iter f t = Array.iter (Tbl.iter f) t.tables
 end

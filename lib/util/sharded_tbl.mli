@@ -35,6 +35,12 @@ module Make (H : Hashtbl.HashedType) : sig
   val length : 'a t -> int
   (** Total bindings over all shards. *)
 
+  val shard_lengths : 'a t -> int array
+  (** Bindings per shard, by shard index — occupancy skew is the number
+      that tells whether the key hash is spreading the intern load
+      (exported as a gauge by the explorer's obs instrumentation).
+      Single-domain use only, like {!iter}. *)
+
   val iter : (H.t -> 'a -> unit) -> 'a t -> unit
   (** Iterate every binding, shard by shard, in unspecified order (the
       explorer's checkpoint writer re-indexes by value, so the order does

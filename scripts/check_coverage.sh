@@ -1,0 +1,42 @@
+#!/bin/sh
+# Enforce per-directory coverage floors.
+#
+# Usage: check_coverage.sh SUMMARY BASELINE
+#
+#   SUMMARY  — output of `bisect-ppx-report summary --per-file`, i.e.
+#              lines of the form " 86.67 %   lib/obs/obs.ml".
+#   BASELINE — floors, one per line: "<dir-prefix> <min-percent>",
+#              '#' comments and blank lines ignored.
+#
+# A directory's coverage is the unweighted mean of its files' line
+# coverage — crude but monotone, which is all a ratchet needs.  The
+# check fails (exit 1) if any directory falls below its floor, and
+# prints the measured numbers either way so CI logs double as a
+# coverage dashboard.
+set -eu
+
+summary=${1:?summary file}
+baseline=${2:?baseline file}
+
+status=0
+while read -r prefix floor; do
+  case "$prefix" in ''|'#'*) continue ;; esac
+  mean=$(awk -v p="$prefix/" '
+    $2 == "%" && index($3, p) == 1 { sum += $1; n += 1 }
+    END { if (n == 0) print "none"; else printf "%.2f", sum / n }
+  ' "$summary")
+  if [ "$mean" = "none" ]; then
+    echo "coverage: $prefix — no files in summary" >&2
+    status=1
+    continue
+  fi
+  ok=$(awk -v m="$mean" -v f="$floor" 'BEGIN { print (m + 0 >= f + 0) ? "yes" : "no" }')
+  if [ "$ok" = "yes" ]; then
+    echo "coverage: $prefix ${mean}% (floor ${floor}%) ok"
+  else
+    echo "coverage: $prefix ${mean}% is below the ${floor}% floor" >&2
+    status=1
+  fi
+done < "$baseline"
+
+exit $status
