@@ -13,12 +13,20 @@
 
    3. runs the explore-scale section: wall-clock measurements of the
       parallel packed explorer on the exhaustive frontier instances
-      (K4-K6 quick; C6 full-model and K7 at full size), at --jobs 1 and
-      --jobs 4, asserting the two reports identical and reporting the
-      speedup and configs/sec (also recorded under "explore_scale" in the
-      --json output).
+      (K4-K6 quick; C6 full-model and K7 at full size).  Each instance
+      runs three legs — jobs=1 Serial, jobs=4 Synchronous (level
+      barrier) and jobs=4 Asynchronous (κ-overlapped pipeline) — all
+      three reports are asserted identical, and the per-level barrier
+      wait of the two parallel legs is compared off the explorer.wait_ns
+      obs counter (also recorded under "explore_scale" in the --json
+      output).
 
    Flags: --quick (reduced experiment sizes), --no-bench, --no-experiments,
+   --scale-only (skip the experiments and the Bechamel kernels: only the
+   explore-scale section runs — the CI quick-bench legs),
+   --exec-policy sync|async (which jobs=4 leg the --trace-out trace and
+   the jobs4_seconds JSON key follow; default sync), --kappa K (overlap
+   fraction of the async leg; default 0.5),
    --seed N (base offset added to every kernel's PRNG seed; default 0
    keeps the historical workloads — the effective value is printed on
    stderr so any run is reproducible),
@@ -46,6 +54,7 @@ module Table = Asyncolor_workload.Table
 module Obs = Asyncolor_obs.Obs
 module Oclock = Asyncolor_obs.Clock
 module Trace_export = Asyncolor_obs.Trace_export
+module Executor = Asyncolor_util.Executor
 
 (* --- benchmark kernels, one per experiment --------------------------- *)
 
@@ -238,58 +247,135 @@ let explore_scale_instances ~quick =
          `Singletons, 40_000_000);
       ]
 
-let run_explore_scale ~quick ~budget ~checkpoint ~obs =
+(* Everything the JSON record needs about one explore-scale instance:
+   timings of the three legs and the per-level barrier-wait accounting of
+   the two parallel ones.  Wait fields are [None] when the obs sink was
+   off (no --trace-out/--metrics): the explorer.wait_ns counter only
+   accumulates on an enabled sink. *)
+type scale_record = {
+  sr_name : string;
+  sr_configs : int;
+  sr_transitions : int;
+  sr_complete : bool;
+  sr_serial_s : float;
+  sr_sync_s : float;
+  sr_async_s : float;
+  sr_levels : int;
+  sr_sync_wait_ns : int option;
+  sr_async_wait_ns : int option;
+  sr_overlap_submits : int option;
+}
+
+let run_explore_scale ~quick ~budget ~checkpoint ~obs ~traced_policy ~kappa =
   let module Exp = Asyncolor_check.Explorer.Make (Asyncolor.Algorithm2.P) in
   print_endline
-    "\n=== explore-scale: parallel packed explorer, wall clock (jobs 1 vs 4) ===";
+    "\n\
+     === explore-scale: parallel packed explorer, wall clock (serial / sync \
+     j4 / async j4) ===";
   let table =
     Table.create
       ~headers:
         [
-          "instance"; "configs"; "complete"; "jobs=1 (s)"; "jobs=4 (s)";
-          "speedup"; "configs/sec (j=4)";
+          "instance"; "configs"; "complete"; "serial (s)"; "sync j4 (s)";
+          "async j4 (s)"; "speedup (async)"; "wait/level sync";
+          "wait/level async";
         ]
   in
   let ckpt = Option.map (fun path -> (path, 500_000)) checkpoint in
+  let metric m name = Option.value ~default:0 (List.assoc_opt name m) in
   let records =
     List.map
       (fun (name, graph, idents, mode, cap) ->
         (* Timings come off the obs layer's monotonic clock (see
-           EXPERIMENTS.md); the jobs=4 leg is traced so the per-level
-           spans of the biggest instances land in --trace-out. *)
-        let time jobs =
-          let obs = if jobs > 1 then obs else Obs.disabled in
+           EXPERIMENTS.md).  The leg matching --exec-policy writes into
+           the shared --trace-out sink; the other parallel leg gets a
+           private sink so its wait counters are still measured without
+           polluting the trace.  Per-leg counter values are deltas, so
+           the shared (accumulating) sink reads the same as a private
+           one. *)
+        let time ~policy ~jobs ~leg_obs =
+          let before = Obs.metrics leg_obs in
           let t0 = Oclock.monotonic () in
           let r =
-            Exp.explore ~mode ~max_configs:cap ~jobs ?budget ?checkpoint:ckpt
-              ~obs graph ~idents
+            Exp.explore ~mode ~max_configs:cap ~jobs ~policy ?budget
+              ?checkpoint:ckpt ~obs:leg_obs graph ~idents
           in
-          (r, Int64.to_float (Int64.sub (Oclock.monotonic ()) t0) /. 1e9)
+          let dt = Int64.to_float (Int64.sub (Oclock.monotonic ()) t0) /. 1e9 in
+          let after = Obs.metrics leg_obs in
+          let d name = metric after name - metric before name in
+          (r, dt, d "explorer.wait_ns", d "explorer.levels",
+           d "explorer.overlap_submits")
         in
-        let r1, dt1 = time 1 in
-        let r4, dt4 = time 4 in
-        (* A tripped budget cuts jobs=1 and jobs=4 at different points, so
-           the byte-identity assertion only applies to complete runs. *)
-        if r1.complete && r4.complete && r1 <> r4 then
-          failwith (name ^ ": jobs=1 and jobs=4 reports differ (determinism bug)");
-        if (not r1.complete) || not r4.complete then
+        let leg_obs leg =
+          if not (Obs.enabled obs) then Obs.disabled
+          else if leg = traced_policy then obs
+          else Obs.create ()
+        in
+        let r1, dt1, _, _, _ =
+          time ~policy:Executor.Serial ~jobs:1 ~leg_obs:Obs.disabled
+        in
+        let rs, dts, wait_s, levels, _ =
+          time ~policy:Executor.Synchronous ~jobs:4 ~leg_obs:(leg_obs "sync")
+        in
+        let ra, dta, wait_a, _, overlap =
+          time
+            ~policy:(Executor.asynchronous ~kappa ~jobs:4 ())
+            ~jobs:4 ~leg_obs:(leg_obs "async")
+        in
+        (* A tripped budget cuts the legs at different points, so the
+           byte-identity assertion only applies to complete runs. *)
+        if r1.complete && rs.complete && r1 <> rs then
+          failwith (name ^ ": serial and sync reports differ (determinism bug)");
+        if r1.complete && ra.complete && r1 <> ra then
+          failwith (name ^ ": serial and async reports differ (determinism bug)");
+        if (not r1.complete) || (not rs.complete) || not ra.complete then
           Printf.printf "%s: cut short (budget or cap) — partial timings\n" name;
-        let speedup = dt1 /. Float.max dt4 1e-9 in
-        let rate = float_of_int r4.configs /. Float.max dt4 1e-9 in
+        let measured = Obs.enabled obs in
+        let per_level w =
+          if not measured then "-"
+          else
+            Printf.sprintf "%.2fms"
+              (float_of_int w /. Float.max (float_of_int levels) 1. /. 1e6)
+        in
         Table.add_row table
           [
             name;
             string_of_int r1.configs;
             string_of_bool r1.complete;
             Printf.sprintf "%.2f" dt1;
-            Printf.sprintf "%.2f" dt4;
-            Printf.sprintf "%.2fx" speedup;
-            Printf.sprintf "%.0f" rate;
+            Printf.sprintf "%.2f" dts;
+            Printf.sprintf "%.2f" dta;
+            Printf.sprintf "%.2fx" (dt1 /. Float.max dta 1e-9);
+            per_level wait_s;
+            per_level wait_a;
           ];
-        (name, r1.configs, r1.transitions, r1.complete, dt1, dt4, speedup, rate))
+        {
+          sr_name = name;
+          sr_configs = r1.configs;
+          sr_transitions = r1.transitions;
+          sr_complete = r1.complete;
+          sr_serial_s = dt1;
+          sr_sync_s = dts;
+          sr_async_s = dta;
+          sr_levels = levels;
+          sr_sync_wait_ns = (if measured then Some wait_s else None);
+          sr_async_wait_ns = (if measured then Some wait_a else None);
+          sr_overlap_submits = (if measured then Some overlap else None);
+        })
       (explore_scale_instances ~quick)
   in
   Table.print table;
+  (if Obs.enabled obs then
+     let total f = List.fold_left (fun acc r -> acc + f r) 0 records in
+     let ws = total (fun r -> Option.value ~default:0 r.sr_sync_wait_ns) in
+     let wa = total (fun r -> Option.value ~default:0 r.sr_async_wait_ns) in
+     let lv = max 1 (total (fun r -> r.sr_levels)) in
+     Printf.printf
+       "barrier wait per level: sync %.2fms, async(κ=%.2f) %.2fms (%s)\n"
+       (float_of_int ws /. float_of_int lv /. 1e6)
+       kappa
+       (float_of_int wa /. float_of_int lv /. 1e6)
+       (if wa < ws then "overlap wins" else "overlap did not pay off here"));
   records
 
 (* Runs every benchmark, prints the timing table, and returns the raw
@@ -340,8 +426,18 @@ let () =
   in
   let csv_dir = find_opt "--csv" in
   let json_path = find_opt "--json" in
+  let scale_only = List.mem "--scale-only" argv in
   let jobs =
     match find_opt "--jobs" with Some n -> int_of_string n | None -> 1
+  in
+  let traced_policy =
+    match find_opt "--exec-policy" with
+    | Some ("sync" | "synchronous") | None -> "sync"
+    | Some ("async" | "asynchronous") -> "async"
+    | Some p -> failwith (Printf.sprintf "--exec-policy %s: want sync or async" p)
+  in
+  let kappa =
+    match find_opt "--kappa" with Some k -> float_of_string k | None -> 0.5
   in
   (match find_opt "--seed" with
   | Some s -> seed_base := int_of_string s
@@ -355,7 +451,7 @@ let () =
   in
   let checkpoint = find_opt "--checkpoint" in
   let outcomes =
-    if no_experiments then []
+    if no_experiments || scale_only then []
     else begin
       print_endline "=== Reproduction experiments (see DESIGN.md / EXPERIMENTS.md) ===";
       let outcomes = Asyncolor_experiments.Registry.run_all ~quick ~jobs () in
@@ -379,9 +475,12 @@ let () =
     if trace_out <> None || metrics then Obs.create () else Obs.disabled
   in
   let scale_records =
-    if no_bench then [] else run_explore_scale ~quick ~budget ~checkpoint ~obs
+    if no_bench then []
+    else run_explore_scale ~quick ~budget ~checkpoint ~obs ~traced_policy ~kappa
   in
-  let bench_records = if no_bench then [] else run_benchmarks () in
+  let bench_records =
+    if no_bench || scale_only then [] else run_benchmarks ()
+  in
   (match trace_out with
   | None -> ()
   | Some path ->
@@ -399,17 +498,39 @@ let () =
         J.Obj
           [ ("name", J.String name); ("ns_per_run", num ns); ("r_square", num r2) ]
       in
-      let scale_json (name, configs, transitions, complete, dt1, dt4, speedup, rate) =
+      let scale_json (r : scale_record) =
+        (* jobs4_seconds / speedup_jobs4 / configs_per_sec_jobs4 follow
+           the --exec-policy leg, keeping the historical keys meaningful
+           for dashboards that predate the policy split. *)
+        let dt4 =
+          if traced_policy = "async" then r.sr_async_s else r.sr_sync_s
+        in
+        let opt_ns = function Some w -> J.Int w | None -> J.Null in
+        let per_level = function
+          | Some w -> J.Float (float_of_int w /. float_of_int (max 1 r.sr_levels))
+          | None -> J.Null
+        in
         J.Obj
           [
-            ("instance", J.String name);
-            ("configs", J.Int configs);
-            ("transitions", J.Int transitions);
-            ("complete", J.Bool complete);
-            ("jobs1_seconds", J.Float dt1);
+            ("instance", J.String r.sr_name);
+            ("configs", J.Int r.sr_configs);
+            ("transitions", J.Int r.sr_transitions);
+            ("complete", J.Bool r.sr_complete);
+            ("exec_policy", J.String traced_policy);
+            ("kappa", J.Float kappa);
+            ("jobs1_seconds", J.Float r.sr_serial_s);
             ("jobs4_seconds", J.Float dt4);
-            ("speedup_jobs4", J.Float speedup);
-            ("configs_per_sec_jobs4", J.Float rate);
+            ("sync_seconds", J.Float r.sr_sync_s);
+            ("async_seconds", J.Float r.sr_async_s);
+            ("speedup_jobs4", J.Float (r.sr_serial_s /. Float.max dt4 1e-9));
+            ( "configs_per_sec_jobs4",
+              J.Float (float_of_int r.sr_configs /. Float.max dt4 1e-9) );
+            ("levels", J.Int r.sr_levels);
+            ("sync_wait_ns", opt_ns r.sr_sync_wait_ns);
+            ("async_wait_ns", opt_ns r.sr_async_wait_ns);
+            ("sync_wait_per_level_ns", per_level r.sr_sync_wait_ns);
+            ("async_wait_per_level_ns", per_level r.sr_async_wait_ns);
+            ("overlap_submits", opt_ns r.sr_overlap_submits);
           ]
       in
       (* The flat obs metrics ride along in the machine-readable record:
@@ -424,6 +545,8 @@ let () =
            [
              ( "experiments",
                J.List (List.map Asyncolor_experiments.Outcome.to_json outcomes) );
+             ("exec_policy", J.String traced_policy);
+             ("kappa", J.Float kappa);
              ("explore_scale", J.List (List.map scale_json scale_records));
              ("benchmarks", J.List (List.map bench_json bench_records));
              ("obs_metrics", obs_metrics);

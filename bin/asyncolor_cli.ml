@@ -176,16 +176,46 @@ let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the tr
 let jobs_arg =
   Arg.(
     value
-    & opt int (Asyncolor_util.Domain_pool.default_jobs ())
+    & opt int (Asyncolor_util.Executor.default_jobs ())
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
           "Worker domains for the parallel subcommands (sweep, check, lockhunt, \
            experiments).  Defaults to the recommended domain count.  \
            Deterministic-output guarantee: stdout is byte-identical for every \
-           value — the exhaustive explorer merges each BFS level in a \
+           value — the exhaustive explorer merges discoveries in a \
            jobs-independent order (so even configuration ids match), and the \
            other fan-outs merge results by input index.  Timing/rate \
            diagnostics go to stderr.")
+
+let exec_policy_arg =
+  Arg.(
+    value
+    & opt string "auto"
+    & info [ "exec-policy" ] ~docv:"POLICY"
+        ~doc:
+          "Execution policy for the parallel subcommands: $(b,auto) (serial \
+           when $(b,--jobs) is 1, synchronous otherwise), $(b,serial), \
+           $(b,sync) (level-synchronous barrier), or $(b,async) \
+           (\xCE\xBA-overlapped pipeline, bounded in-flight work).  The report on \
+           stdout is byte-identical under every policy; only wall clock \
+           changes.")
+
+let kappa_arg =
+  Arg.(
+    value
+    & opt float 0.5
+    & info [ "kappa" ] ~docv:"K"
+        ~doc:
+          "Overlap fraction for $(b,--exec-policy) $(b,async): expansion of \
+           BFS level k+1 may start once a K fraction of level k has merged \
+           (clamped to [0,1]; 1 reproduces the synchronous barrier).")
+
+(* "auto" maps to [None]: the library derives Serial/Synchronous from
+   [jobs], exactly the pre-policy behaviour. *)
+let make_policy ~policy ~kappa ~jobs =
+  match policy with
+  | "auto" -> None
+  | s -> Some (Asyncolor_util.Executor.policy_of_string ~kappa ~jobs s)
 
 let time_budget_arg =
   Arg.(
@@ -389,9 +419,10 @@ let check_cmd =
              have been interned — a real crash, not an exception.  Combine \
              with $(b,--checkpoint) and restart with $(b,--resume).")
   in
-  let f alg idents mode max_configs jobs ckpt_path ckpt_every resume time_s
-      mem_mb kill_after trace_out metrics =
+  let f alg idents mode max_configs jobs exec_policy kappa ckpt_path ckpt_every
+      resume time_s mem_mb kill_after trace_out metrics =
     let obs = make_obs ~trace_out ~metrics in
+    let policy = make_policy ~policy:exec_policy ~kappa ~jobs in
     let idents = Array.of_list idents in
     let n = Array.length idents in
     if n < 3 then failwith "need at least 3 identifiers";
@@ -429,12 +460,13 @@ let check_cmd =
                   "resuming %s: %d configs interned, %d pending (n=%d)\n" path
                   info.ri_configs info.ri_pending
                   (Graph.n info.ri_graph);
-                Exp.explore_resume ~jobs ?checkpoint ?budget ~stop
+                Exp.explore_resume ~jobs ?policy ?checkpoint ?budget ~stop
                   ~check_outputs:(coloring_check info.ri_graph) ~obs path
             | None ->
                 let graph = Builders.cycle n in
-                Exp.explore ~mode ~max_configs ~jobs ?checkpoint ?budget ~stop
-                  ~check_outputs:(coloring_check graph) ~obs graph ~idents)
+                Exp.explore ~mode ~max_configs ~jobs ?policy ?checkpoint
+                  ?budget ~stop ~check_outputs:(coloring_check graph) ~obs
+                  graph ~idents)
       in
       let dt = elapsed_s t0 in
       Diag.printf "explored %d configs in %.3fs (%.0f configs/sec, jobs=%d)\n"
@@ -467,14 +499,17 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
       const f $ alg_arg $ idents_csv $ mode_arg $ max_configs_arg $ jobs_arg
-      $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ time_budget_arg
-      $ mem_budget_arg $ kill_after_arg $ trace_out_arg $ metrics_arg)
+      $ exec_policy_arg $ kappa_arg $ checkpoint_arg $ checkpoint_every_arg
+      $ resume_arg $ time_budget_arg $ mem_budget_arg $ kill_after_arg
+      $ trace_out_arg $ metrics_arg)
 
 let lockhunt_cmd =
   let doc = "attack every adjacent pair with the isolate-pair schedule (finding F1)" in
-  let f alg n seed idents_kind jobs time_s mem_mb trace_out metrics =
+  let f alg n seed idents_kind jobs exec_policy kappa time_s mem_mb trace_out
+      metrics =
     announce_seed seed;
     let obs = make_obs ~trace_out ~metrics in
+    let policy = make_policy ~policy:exec_policy ~kappa ~jobs in
     let graph = Builders.cycle n in
     let idents = make_idents ~kind:idents_kind ~seed n in
     let budget = make_budget ~time_s ~mem_mb in
@@ -488,7 +523,8 @@ let lockhunt_cmd =
       let t0 = Oclock.monotonic () in
       let findings =
         Stop.with_signals (fun () ->
-            H.hunt ~jobs ?budget ~stop:Stop.requested ~obs graph ~idents)
+            H.hunt ~jobs ?policy ?budget ~stop:Stop.requested ~obs graph
+              ~idents)
       in
       let dt = elapsed_s t0 in
       Diag.printf "%d probes in %.3fs (%.0f probes/sec, jobs=%d)\n"
@@ -523,7 +559,8 @@ let lockhunt_cmd =
   Cmd.v (Cmd.info "lockhunt" ~doc)
     Term.(
       const f $ alg_arg $ n_arg $ seed_arg $ idents_arg $ jobs_arg
-      $ time_budget_arg $ mem_budget_arg $ trace_out_arg $ metrics_arg)
+      $ exec_policy_arg $ kappa_arg $ time_budget_arg $ mem_budget_arg
+      $ trace_out_arg $ metrics_arg)
 
 let fuzz_cmd =
   let doc = "randomized fault-injection fuzzing with replayable, shrunk traces" in
@@ -577,8 +614,8 @@ let fuzz_cmd =
       & info [ "min-out" ] ~docv:"PATH"
           ~doc:"Write the first finding's shrunk trace to PATH.")
   in
-  let f seed execs max_n algos mutant corpus min_out jobs time_s mem_mb
-      list_mutants trace_out metrics =
+  let f seed execs max_n algos mutant corpus min_out jobs exec_policy kappa
+      time_s mem_mb list_mutants trace_out metrics =
     if list_mutants then
       List.iter
         (fun (i : Fz.Mutation.info) ->
@@ -599,10 +636,11 @@ let fuzz_cmd =
       in
       let budget = make_budget ~time_s ~mem_mb in
       let obs = make_obs ~trace_out ~metrics in
+      let policy = make_policy ~policy:exec_policy ~kappa ~jobs in
       let t0 = Oclock.monotonic () in
       let report =
         Stop.with_signals (fun () ->
-            Fz.Fuzz.campaign ~jobs ?budget ~stop:Stop.requested
+            Fz.Fuzz.campaign ~jobs ?policy ?budget ~stop:Stop.requested
               ?corpus_dir:corpus ?mutation:mutant ~algos ~max_n ~obs ~seed
               ~execs ())
       in
@@ -655,8 +693,9 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
       const f $ seed_arg $ execs_arg $ max_n_arg $ algos_arg $ mutant_arg
-      $ corpus_arg $ min_out_arg $ jobs_arg $ time_budget_arg $ mem_budget_arg
-      $ list_mutants_arg $ trace_out_arg $ metrics_arg)
+      $ corpus_arg $ min_out_arg $ jobs_arg $ exec_policy_arg $ kappa_arg
+      $ time_budget_arg $ mem_budget_arg $ list_mutants_arg $ trace_out_arg
+      $ metrics_arg)
 
 let replay_cmd =
   let doc = "replay an explicit schedule (e.g. a lasso printed by check) or a fuzz trace" in

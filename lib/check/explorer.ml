@@ -1,5 +1,6 @@
 module Vec = Asyncolor_util.Vec
-module Domain_pool = Asyncolor_util.Domain_pool
+module Ring = Asyncolor_util.Ring
+module Executor = Asyncolor_util.Executor
 module Checkpoint = Asyncolor_resilience.Checkpoint
 module Budget = Asyncolor_resilience.Budget
 module Diag = Asyncolor_resilience.Diag
@@ -16,8 +17,10 @@ type octx = {
   oc_transitions : Obs.Counter.t;
   oc_levels : Obs.Counter.t;
   oc_ckpt_saves : Obs.Counter.t;
+  oc_wait_ns : Obs.Counter.t;  (* ns the merge spent blocked on futures *)
+  oc_overlap : Obs.Counter.t;  (* submissions past the current level *)
   og_frontier : Obs.Gauge.t;  (* widest BFS frontier *)
-  og_shard_max : Obs.Gauge.t;  (* most occupied intern shard *)
+  og_overlap : Obs.Gauge.t;  (* most cross-level expansions in flight *)
 }
 
 let make_octx o =
@@ -27,8 +30,10 @@ let make_octx o =
     oc_transitions = Obs.counter o "explorer.transitions";
     oc_levels = Obs.counter o "explorer.levels";
     oc_ckpt_saves = Obs.counter o "checkpoint.saves";
+    oc_wait_ns = Obs.counter o "explorer.wait_ns";
+    oc_overlap = Obs.counter o "explorer.overlap_submits";
     og_frontier = Obs.gauge o "explorer.frontier_max";
-    og_shard_max = Obs.gauge o "explorer.shard_max";
+    og_overlap = Obs.gauge o "exec.kappa_overlap";
   }
 
 (* --- activation subsets: list form (reference) and packed form --------- *)
@@ -110,13 +115,6 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
     type t = E.config
 
     let compare = E.config_compare
-  end)
-
-  module Shards = Asyncolor_util.Sharded_tbl.Make (struct
-    type t = E.key
-
-    let equal = E.key_equal
-    let hash = E.key_hash
   end)
 
   type violation = { message : string; schedule : int list list }
@@ -478,11 +476,12 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
      ([E.key_data]) indexed by dense id and rebuilt with [E.key_of_data]
      — the hash is recomputed on load, never trusted.  [ck_pending] holds
      the interned-but-unexpanded configurations in FIFO order (for the
-     parallel builder: the current frontier, which is a contiguous slice
-     of that same order).  Both builders expand pending entries in stored
-     order and assign dense ids in expansion order, so a resumed run —
-     under any [jobs] value — produces the same report, byte for byte, as
-     one that was never interrupted. *)
+     pipelined builder: the ring's [lo, hi) window, whose positions are
+     the stored ids — a contiguous slice of that same order).  Both
+     builders expand pending entries in stored order and assign dense ids
+     in expansion order, so a resumed run — under any [jobs] value or
+     policy — produces the same report, byte for byte, as one that was
+     never interrupted. *)
   type ckpt = {
     ck_protocol : string;
     ck_graph : Asyncolor_topology.Graph.t;
@@ -537,11 +536,6 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
   let keys_of_key_tbl tbl n =
     let a = Array.make n [||] in
     E.Key_tbl.iter (fun k id -> a.(id) <- E.key_data k) tbl;
-    a
-
-  let keys_of_shards tbl n =
-    let a = Array.make n [||] in
-    Shards.iter (fun k id -> a.(id) <- E.key_data k) tbl;
     a
 
   (* --- packed sequential BFS: the jobs=1 fast path --------------------- *)
@@ -640,251 +634,238 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
     safety_check ~params st engine root_id initial;
     run_seq ~params ~graph ~idents st tbl queue
 
-  (* --- level-synchronous parallel BFS with sharded interning ----------- *)
+  (* --- pipelined parallel BFS: async expansion, FIFO merge ------------- *)
 
-  (* One BFS level at a time, in three phases:
+  (* The parallel builder is a software pipeline over the executor.  The
+     pending configurations — interned but not yet expanded — live in a
+     FIFO {!Ring} whose absolute positions {e are} their dense ids, and
+     the loop runs two cursors over it:
 
-     A. {e Expansion} (parallel by frontier slice).  Each worker owns a
-        private engine and restores/activates/snapshots every (config,
-        activation-mask) pair of its slice, emitting candidate successors
-        with their packed keys.  No shared mutable state is touched.
+     - {e Submission} ([submit_pos], runs ahead): hand pending entries to
+       the executor as expansion futures.  A task restores a
+       domain-private engine (via domain-local storage) and computes the
+       entry's full candidate array — (mask, packed key, successor) in
+       [masks_of] order — touching no shared state.  Discovery is
+       therefore async and unordered: whichever domain steals the task
+       runs it whenever.
 
-     B. {e Interning lookups} (parallel by shard).  The intern table is
-        sharded by key hash ([Sharded_tbl]); each worker scans the level's
-        candidates in global order, handles only the keys its shard owns,
-        and classifies every candidate as already-interned, duplicate of an
-        earlier candidate of this level, or fresh — reading the main table
-        and a level-local pending table.  Shards are disjoint by
-        construction, so phase B writes nothing any other worker reads.
+     - {e Merge} ([Ring.lo pend], the completion stream): await the
+       {e head} future — strictly FIFO, regardless of completion order —
+       and fold its candidates into the packed state exactly as the
+       sequential builder would: intern through one [Key_tbl], assign
+       dense ids in candidate order, record adjacency/parents, run the
+       safety checks, apply the [max_configs] cap.  Ids, parents,
+       adjacency, violation order and the cap all derive from this
+       jobs- and steal-independent order, so the report is byte-identical
+       for every [jobs] value, every policy, and the reference oracle.
 
-     C. {e Merge} (sequential, cheap).  Walk the candidates once in global
-        order — frontier slot, then activation-subset order, i.e. exactly
-        the order in which the sequential BFS performs its expansions —
-        assigning dense ids to fresh configurations, recording adjacency
-        and parent pointers, running safety checks and applying the
-        [max_configs] cap.  Because ids, parents, adjacency, violation
-        order and the cap all derive from this jobs-independent order, the
-        resulting report is byte-identical for every [jobs] value and to
-        the reference implementation.  Phases A and B do all the engine
-        and hashing work; phase C only moves integers.
+     How far submission may run ahead is the policy's business:
+     [stream_window] bounds in-flight futures (backpressure is counted
+     when the bound stalls a ready submission), and the κ gate decides
+     when the {e next} BFS level may start expanding — a position past
+     the current level boundary is submittable only once a κ fraction of
+     the current level has merged.  [Synchronous] is κ = 1 with an
+     unbounded window: the whole level in flight, full barrier between
+     levels — the old level-synchronous builder.  [Asynchronous {kappa}]
+     starts level k+1 expansions while the tail of level k is still
+     merging, which is where the barrier-wait time goes away (the
+     ["explorer.wait_ns"] counter vs. the ["explorer.overlap_submits"]
+     counter and ["exec.kappa_overlap"] gauge make the trade visible).
 
-     The level boundary doubles as the crash-safety boundary: before each
-     level the loop may write a periodic checkpoint (pending = the
-     current frontier, which is a contiguous slice of the FIFO order the
-     sequential builder would hold) and polls the stop callback and
-     resource budget — same degradation contract as [run_seq]. *)
-  let run_par ~params ~jobs ~graph ~idents st tbl frontier_ids0 frontier_cfgs0
-      =
-    let jobs = max 1 jobs in
-    let nshards = Shards.shards tbl in
-    let engines = Array.init jobs (fun _ -> E.create graph ~idents) in
-    let dummy_cfg = E.snapshot engines.(0) in
-    let dummy_key = E.config_key dummy_cfg in
-    let next_ids = Vec.create ~capacity:1024 ~dummy:0 () in
-    let next_cfgs = Vec.create ~capacity:1024 ~dummy:dummy_cfg () in
+     The merge boundary doubles as the crash-safety boundary, exactly
+     like the sequential builder's queue boundary: before merging each
+     entry the loop may write a periodic checkpoint (pending = the ring,
+     which {e is} the FIFO order the sequential builder would hold) and
+     polls the stop callback and resource budget — same degradation
+     contract, same checkpoint placement, byte-compatible files. *)
+  let run_async ~params ~exec ~graph ~idents st tbl (pend : E.config Ring.t) =
+    let octx = params.octx in
+    let o = octx.o in
+    (* One private engine per domain, created lazily on first expansion
+       (the caller gets one too — it helps execute tasks while waiting). *)
+    let engine_key = Domain.DLS.new_key (fun () -> E.create graph ~idents) in
+    let check_engine = E.create graph ~idents in
     let check id config =
       (match params.check_config with
-      | Some _ -> E.restore engines.(0) config
+      | Some _ -> E.restore check_engine config
       | None -> ());
-      safety_check ~params st engines.(0) id config
+      safety_check ~params st check_engine id config
+    in
+    let expand config () =
+      let um = E.config_unfinished_mask config in
+      if um = 0 then [||]
+      else begin
+        let eng = Domain.DLS.get engine_key in
+        Array.map
+          (fun mask ->
+            E.restore eng config;
+            E.activate_mask eng mask;
+            let succ = E.snapshot eng in
+            (mask, E.config_key succ, succ))
+          (masks_of params.mode um)
+      end
     in
     let last_ck = ref st.s_next_id in
-    let maybe_checkpoint ~force ~fids ~fcfgs () =
+    let maybe_checkpoint ~force () =
       match params.checkpoint with
       | Some (path, every) when force || st.s_next_id - !last_ck >= max 1 every
         ->
           save_ckpt ~params ~graph ~idents st
-            ~keys:(fun () -> keys_of_shards tbl st.s_next_id)
+            ~keys:(fun () -> keys_of_key_tbl tbl st.s_next_id)
             ~pending:(fun () ->
-              Array.init (Array.length fids) (fun i -> (fids.(i), fcfgs.(i))))
+              Array.init (Ring.length pend) (fun i ->
+                  let p = Ring.lo pend + i in
+                  (p, Ring.get pend p)))
             path;
           last_ck := st.s_next_id;
           Diag.printf "checkpoint: %d configs, %d pending -> %s\n" st.s_next_id
-            (Array.length fids) path
+            (Ring.length pend) path
       | _ -> ()
     in
-    let stopped = ref false in
-    let octx = params.octx in
+    let window = Executor.stream_window exec in
+    let kappa = Executor.policy_kappa (Executor.policy exec) in
+    (* Futures for submitted-but-unmerged entries, same absolute
+       positions as [pend]. *)
+    let futs : (int * E.key * E.config) array Executor.future option Ring.t =
+      Ring.create ~start:(Ring.lo pend) ~dummy:None ()
+    in
+    let submit_pos = ref (Ring.lo pend) in
+    (* On resume the whole pending slice plays the role of the current
+       frontier (it may span what were several levels originally —
+       level accounting is observability, never output). *)
     let level = ref 0 in
-    Domain_pool.with_pool ~obs:octx.o ~jobs (fun pool ->
-        let frontier_ids = ref frontier_ids0 in
-        let frontier_cfgs = ref frontier_cfgs0 in
-        while Array.length !frontier_ids > 0 && not !stopped do
-          let fids = !frontier_ids and fcfgs = !frontier_cfgs in
-          let flen = Array.length fids in
-          (* One span per BFS level, with the three phases as explicit
-             child scopes — "where did the time go" for a level reads
-             directly off the trace. *)
-          let sp_level =
-            Obs.begin_span octx.o
-              ~args:
-                [
-                  ("level", string_of_int !level);
-                  ("frontier", string_of_int flen);
-                  ("configs", string_of_int st.s_next_id);
-                ]
-              "bfs.level"
-          in
-          Obs.Counter.incr octx.oc_levels;
-          Obs.Gauge.max_ octx.og_frontier flen;
-          maybe_checkpoint ~force:false ~fids ~fcfgs ();
-          if should_stop ~params st then stopped := true
-          else if st.s_next_id >= params.max_configs then begin
-            (* The cap is already hit: no expansion can happen, but every
-               pending configuration that still has working processes marks
-               the exploration incomplete — exactly the sequential path. *)
-            Array.iter
-              (fun c ->
-                if E.config_unfinished_mask c <> 0 then st.s_complete <- false)
-              fcfgs;
-            for _ = 1 to flen do
-              Vec.push st.s_adj_off (Vec.length st.s_adj_data)
-            done;
-            frontier_ids := [||];
-            frontier_cfgs := [||]
-          end
-          else begin
-            (* phase A *)
-            let slices =
-              Array.init jobs (fun s ->
-                  (s, flen * s / jobs, flen * (s + 1) / jobs))
-            in
-            let expanded =
-              Obs.span octx.o ~parent:sp_level "bfs.expand" @@ fun () ->
-              Domain_pool.map pool
-                (fun (s, lo, hi) ->
-                  let eng = engines.(s) in
-                  Array.init (hi - lo) (fun i ->
-                      let config = fcfgs.(lo + i) in
-                      let um = E.config_unfinished_mask config in
-                      if um = 0 then [||]
-                      else
-                        Array.map
-                          (fun mask ->
-                            E.restore eng config;
-                            E.activate_mask eng mask;
-                            let succ = E.snapshot eng in
-                            (mask, E.config_key succ, succ))
-                          (masks_of params.mode um)))
-                slices
-            in
-            (* flatten into global candidate order *)
-            let ncands =
-              Array.fold_left
-                (fun acc slice ->
-                  Array.fold_left (fun a c -> a + Array.length c) acc slice)
-                0 expanded
-            in
-            let cand_off = Array.make (flen + 1) 0 in
-            let cands = Array.make (max 1 ncands) (0, dummy_key, dummy_cfg) in
-            let k = ref 0 in
-            Array.iteri
-              (fun s per_cfg ->
-                let _, lo, _ = slices.(s) in
-                Array.iteri
-                  (fun i arr ->
-                    cand_off.(lo + i) <- !k;
-                    Array.iter
-                      (fun c ->
-                        cands.(!k) <- c;
-                        incr k)
-                      arr)
-                  per_cfg)
-              expanded;
-            cand_off.(flen) <- !k;
-            (* phase B *)
-            let verdict = Array.make (max 1 ncands) (-1) in
-            (Obs.span octx.o ~parent:sp_level
-               ~args:[ ("candidates", string_of_int ncands) ]
-               "bfs.intern"
-            @@ fun () ->
-             ignore
-               (Domain_pool.map pool
-                  (fun shard ->
-                    let pending = E.Key_tbl.create 64 in
-                    for j = 0 to ncands - 1 do
-                      let _, key, _ = cands.(j) in
-                      if Shards.shard_of tbl key = shard then
-                        match Shards.find_opt_in tbl ~shard key with
-                        | Some id -> verdict.(j) <- -id - 2
-                        | None -> (
-                            match E.Key_tbl.find_opt pending key with
-                            | Some j' -> verdict.(j) <- j'
-                            | None -> E.Key_tbl.add pending key j)
-                    done)
-                  (Array.init nshards Fun.id)));
-            (* phase C *)
-            (Obs.span octx.o ~parent:sp_level "bfs.merge" @@ fun () ->
-             let resolved = Array.make (max 1 ncands) (-1) in
-             for f = 0 to flen - 1 do
-               let uid = fids.(f) in
-               for j = cand_off.(f) to cand_off.(f + 1) - 1 do
-                 if st.s_next_id >= params.max_configs then
-                   st.s_complete <- false
-                 else begin
-                   let mask, key, config = cands.(j) in
-                   st.s_transitions <- st.s_transitions + 1;
-                   Obs.Counter.incr octx.oc_transitions;
-                   let vid =
-                     let v = verdict.(j) in
-                     if v <= -2 then -v - 2
-                     else if v >= 0 then resolved.(v)
-                     else begin
-                       let id = register_st ~octx st config in
-                       Vec.push next_ids id;
-                       Vec.push next_cfgs config;
-                       Shards.add tbl key id;
-                       Vec.set st.s_parent_pred id uid;
-                       Vec.set st.s_parent_mask id mask;
-                       check id config;
-                       resolved.(j) <- id;
-                       id
-                     end
-                   in
-                   Vec.push st.s_adj_data mask;
-                   Vec.push st.s_adj_data vid
-                 end
-               done;
-               Vec.push st.s_adj_off (Vec.length st.s_adj_data)
-             done);
-            if Obs.enabled octx.o then
-              Obs.Gauge.max_ octx.og_shard_max
-                (Array.fold_left max 0 (Shards.shard_lengths tbl));
-            frontier_ids := Vec.to_array next_ids;
-            frontier_cfgs := Vec.to_array next_cfgs;
-            Vec.clear next_ids;
-            Vec.clear next_cfgs
+    let lvl_lo = ref (Ring.lo pend) in
+    let lvl_hi = ref (Ring.hi pend) in
+    let open_level () =
+      Obs.Counter.incr octx.oc_levels;
+      Obs.Gauge.max_ octx.og_frontier (!lvl_hi - !lvl_lo);
+      Some
+        (Obs.begin_span o
+           ~args:
+             [
+               ("level", string_of_int !level);
+               ("frontier", string_of_int (!lvl_hi - !lvl_lo));
+               ("configs", string_of_int st.s_next_id);
+             ]
+           "bfs.level")
+    in
+    let sp_level = ref (if Ring.length pend > 0 then open_level () else None) in
+    let close_level () =
+      match !sp_level with
+      | Some sp ->
+          Obs.end_span o sp;
+          sp_level := None
+      | None -> ()
+    in
+    let stopped = ref false in
+    while Ring.length pend > 0 && not !stopped do
+      let merge_pos = Ring.lo pend in
+      if merge_pos = !lvl_hi then begin
+        close_level ();
+        incr level;
+        lvl_lo := !lvl_hi;
+        lvl_hi := Ring.hi pend;
+        sp_level := open_level ()
+      end;
+      maybe_checkpoint ~force:false ();
+      if should_stop ~params st then stopped := true
+      else begin
+        (* Top up the pipeline.  A position inside the current level is
+           always submittable (window permitting); one past it only once
+           a κ fraction of the level has merged. *)
+        let need =
+          int_of_float (Float.ceil (kappa *. float_of_int (!lvl_hi - !lvl_lo)))
+        in
+        let gate_open p = p < !lvl_hi || merge_pos - !lvl_lo >= need in
+        while
+          !submit_pos < Ring.hi pend
+          && !submit_pos - merge_pos < window
+          && gate_open !submit_pos
+        do
+          let p = !submit_pos in
+          Ring.push futs (Some (Executor.submit exec (expand (Ring.get pend p))));
+          if p >= !lvl_hi then begin
+            Obs.Counter.incr octx.oc_overlap;
+            Obs.Gauge.max_ octx.og_overlap (p - !lvl_hi + 1)
           end;
-          Obs.end_span octx.o sp_level;
-          incr level
+          incr submit_pos
         done;
-        if !stopped then begin
-          maybe_checkpoint ~force:true ~fids:!frontier_ids
-            ~fcfgs:!frontier_cfgs ();
-          Array.iter
-            (fun c ->
-              if E.config_unfinished_mask c <> 0 then st.s_complete <- false)
-            !frontier_cfgs;
-          Array.iter
-            (fun _ -> Vec.push st.s_adj_off (Vec.length st.s_adj_data))
-            !frontier_ids
-        end);
+        if !submit_pos < Ring.hi pend && !submit_pos - merge_pos >= window then
+          Executor.note_backpressure exec;
+        (* Merge the head entry — the sequential FIFO completion
+           stream.  The id-assignment below is the [run_seq] body,
+           verbatim, over the precomputed candidates. *)
+        let uid = merge_pos in
+        let fut =
+          match Ring.get futs uid with Some f -> f | None -> assert false
+        in
+        let t0 = Obs.now o in
+        let cands = Executor.await fut in
+        Obs.Counter.add octx.oc_wait_ns
+          (Int64.to_int (Int64.sub (Obs.now o) t0));
+        Ring.drop futs;
+        Array.iter
+          (fun (mask, key, succ) ->
+            if st.s_next_id < params.max_configs then begin
+              st.s_transitions <- st.s_transitions + 1;
+              Obs.Counter.incr octx.oc_transitions;
+              let vid, fresh =
+                match E.Key_tbl.find_opt tbl key with
+                | Some id -> (id, false)
+                | None ->
+                    let id = register_st ~octx st succ in
+                    Ring.push pend succ;
+                    E.Key_tbl.add tbl key id;
+                    (id, true)
+              in
+              Vec.push st.s_adj_data mask;
+              Vec.push st.s_adj_data vid;
+              if fresh then begin
+                Vec.set st.s_parent_pred vid uid;
+                Vec.set st.s_parent_mask vid mask;
+                check vid succ
+              end
+            end
+            else st.s_complete <- false)
+          cands;
+        Vec.push st.s_adj_off (Vec.length st.s_adj_data);
+        Ring.drop pend
+      end
+    done;
+    close_level ();
+    if !stopped then begin
+      (* In-flight futures are abandoned (the executor drains them on
+         shutdown); the ring still holds every unexpanded entry, so the
+         final checkpoint and the truncation accounting see exactly what
+         the sequential builder's queue would hold. *)
+      maybe_checkpoint ~force:true ();
+      for p = Ring.lo pend to Ring.hi pend - 1 do
+        if E.config_unfinished_mask (Ring.get pend p) <> 0 then
+          st.s_complete <- false
+      done;
+      for _ = Ring.lo pend to Ring.hi pend - 1 do
+        Vec.push st.s_adj_off (Vec.length st.s_adj_data)
+      done
+    end;
     packed_of_state st
 
-  let explore_par ~params ~jobs graph ~idents =
+  let explore_async ~params ~policy ~jobs graph ~idents =
     let st = fresh_state () in
-    let tbl = Shards.create ~shards:(max 1 jobs) 1024 in
+    let tbl = E.Key_tbl.create 1024 in
     let engine = E.create graph ~idents in
     let initial = E.snapshot engine in
     let root_id = register_st ~octx:params.octx st initial in
-    Shards.add tbl (E.config_key initial) root_id;
+    E.Key_tbl.add tbl (E.config_key initial) root_id;
     safety_check ~params st engine root_id initial;
-    run_par ~params ~jobs ~graph ~idents st tbl [| root_id |] [| initial |]
+    let pend = Ring.create ~dummy:initial () in
+    Ring.push pend initial;
+    Executor.with_executor ~obs:params.octx.o ~policy ~jobs (fun exec ->
+        run_async ~params ~exec ~graph ~idents st tbl pend)
 
   let explore ?(max_configs = 500_000) ?(max_violations = 5)
-      ?(mode = `All_subsets) ?(impl = `Hashcons) ?(jobs = 1) ?checkpoint
-      ?budget ?stop ?check_outputs ?check_config ?(obs = Obs.disabled) graph
-      ~idents =
+      ?(mode = `All_subsets) ?(impl = `Hashcons) ?(jobs = 1) ?policy
+      ?checkpoint ?budget ?stop ?check_outputs ?check_config
+      ?(obs = Obs.disabled) graph ~idents =
     let n = Asyncolor_topology.Graph.n graph in
     if n > Sys.int_size - 1 then
       invalid_arg "Explorer.explore: packed activation masks need n <= 62";
@@ -895,11 +876,12 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
       | `Reference ->
           if
             Option.is_some checkpoint || Option.is_some budget
-            || Option.is_some stop
+            || Option.is_some stop || Option.is_some policy
           then
             invalid_arg
               "Explorer.explore: the `Reference oracle supports neither \
-               checkpoints, budgets nor stop callbacks (use `Hashcons)";
+               checkpoints, budgets, stop callbacks nor execution policies \
+               (use `Hashcons)";
           explore_reference ~max_configs ~max_violations ~mode ~check_outputs
             ~check_config graph ~idents
       | `Hashcons ->
@@ -916,8 +898,15 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
               octx;
             }
           in
-          if jobs <= 1 then explore_seq ~params graph ~idents
-          else explore_par ~params ~jobs graph ~idents
+          let policy =
+            match policy with
+            | Some p -> p
+            | None ->
+                if jobs <= 1 then Executor.Serial else Executor.Synchronous
+          in
+          (match policy with
+          | Executor.Serial -> explore_seq ~params graph ~idents
+          | policy -> explore_async ~params ~policy ~jobs graph ~idents)
     in
     finish_report ~octx ~n packed
 
@@ -968,8 +957,8 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
       s_complete = c.ck_complete;
     }
 
-  let explore_resume ?(jobs = 1) ?checkpoint ?budget ?stop ?check_outputs
-      ?check_config ?(obs = Obs.disabled) path =
+  let explore_resume ?(jobs = 1) ?policy ?checkpoint ?budget ?stop
+      ?check_outputs ?check_config ?(obs = Obs.disabled) path =
     let octx = make_octx obs in
     let c = Obs.span obs "checkpoint.load" (fun () -> load_ckpt path) in
     let graph = c.ck_graph and idents = c.ck_idents in
@@ -988,25 +977,37 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
       }
     in
     let st = state_of_ckpt c in
+    let tbl = E.Key_tbl.create (max 1024 (2 * c.ck_next_id)) in
+    Array.iteri
+      (fun id kdata -> E.Key_tbl.add tbl (E.key_of_data kdata) id)
+      c.ck_keys;
+    let policy =
+      match policy with
+      | Some p -> p
+      | None -> if jobs <= 1 then Executor.Serial else Executor.Synchronous
+    in
     let packed =
-      if jobs <= 1 then begin
-        let tbl = E.Key_tbl.create (max 1024 (2 * c.ck_next_id)) in
-        Array.iteri
-          (fun id kdata -> E.Key_tbl.add tbl (E.key_of_data kdata) id)
-          c.ck_keys;
-        let queue = Queue.create () in
-        Array.iter (fun entry -> Queue.add entry queue) c.ck_pending;
-        run_seq ~params ~graph ~idents st tbl queue
-      end
-      else begin
-        let tbl = Shards.create ~shards:jobs 1024 in
-        Array.iteri
-          (fun id kdata -> Shards.add tbl (E.key_of_data kdata) id)
-          c.ck_keys;
-        run_par ~params ~jobs ~graph ~idents st tbl
-          (Array.map fst c.ck_pending)
-          (Array.map snd c.ck_pending)
-      end
+      match policy with
+      | Executor.Serial ->
+          let queue = Queue.create () in
+          Array.iter (fun entry -> Queue.add entry queue) c.ck_pending;
+          run_seq ~params ~graph ~idents st tbl queue
+      | policy ->
+          (* Pending entries are a contiguous id slice in FIFO order (the
+             checkpoint contract), so the ring's absolute positions — the
+             stored ids — carry over directly. *)
+          let start =
+            if Array.length c.ck_pending = 0 then c.ck_next_id
+            else fst c.ck_pending.(0)
+          in
+          let dummy =
+            let engine = E.create graph ~idents in
+            E.snapshot engine
+          in
+          let pend = Ring.create ~start ~dummy () in
+          Array.iter (fun (_, cfg) -> Ring.push pend cfg) c.ck_pending;
+          Executor.with_executor ~obs ~policy ~jobs (fun exec ->
+              run_async ~params ~exec ~graph ~idents st tbl pend)
     in
     finish_report ~octx ~n packed
 

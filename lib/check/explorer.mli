@@ -87,6 +87,7 @@ module Make (P : Asyncolor_kernel.Protocol.S) : sig
     ?mode:[ `All_subsets | `Singletons ] ->
     ?impl:[ `Hashcons | `Reference ] ->
     ?jobs:int ->
+    ?policy:Asyncolor_util.Executor.policy ->
     ?checkpoint:string * int ->
     ?budget:Asyncolor_resilience.Budget.t ->
     ?stop:(configs:int -> bool) ->
@@ -110,23 +111,33 @@ module Make (P : Asyncolor_kernel.Protocol.S) : sig
       [max_violations = 5].
 
       [impl] selects the exploration engine: [`Hashcons] (default) is the
-      packed, parallel level-synchronous BFS — configurations interned by
-      the integer keys of {!Asyncolor_kernel.Engine.Make.config_key} in a
-      key-sharded table, adjacency in flat int arrays; [`Reference] is the
-      seed implementation (sequential FIFO BFS over a [Map] keyed by
+      packed pipelined BFS — configurations interned by the integer keys
+      of {!Asyncolor_kernel.Engine.Make.config_key} in one [Key_tbl],
+      adjacency in flat int arrays, expansion handed to an
+      {!Asyncolor_util.Executor} as futures; [`Reference] is the seed
+      implementation (sequential FIFO BFS over a [Map] keyed by
       [config_compare]), kept as the oracle for the differential tests.
 
       [jobs] (default 1, [`Hashcons] only) sets the number of domains
-      expanding each BFS level.  {b Deterministic-output guarantee}: the
-      report — configuration ids embedded in messages, schedules,
-      violation order, every counter — is byte-identical for every [jobs]
-      value and identical to [`Reference]'s, because dense ids are
-      assigned in a per-level merge that walks candidates in the
-      jobs-independent order (frontier position, then activation-subset
-      order), which is exactly sequential BFS discovery order.
+      expanding configurations; [policy] the execution policy (default:
+      [Serial] when [jobs <= 1], else [Synchronous]).  [Serial] is the
+      in-line sequential builder; [Synchronous] keeps a full barrier
+      between BFS levels (level k+1 expansion starts only once level k
+      has fully merged); [Asynchronous {kappa; _}] lets level k+1
+      expansion start once a κ fraction of level k has merged, bounded
+      by the policy's in-flight window — discovery is async and
+      unordered, id assignment stays a sequential FIFO merge.
+      {b Deterministic-output guarantee}: the report — configuration ids
+      embedded in messages, schedules, violation order, every counter —
+      is byte-identical for every [jobs] value, every policy, and
+      identical to [`Reference]'s, because dense ids are assigned by
+      awaiting expansion futures strictly in submission (FIFO) order and
+      walking each candidate array in activation-subset order — exactly
+      sequential BFS discovery order, independent of which domain stole
+      which expansion when.
 
       {b Crash safety} ([`Hashcons] only — [`Reference] raises
-      [Invalid_argument] when any of the three options below is given):
+      [Invalid_argument] when any of the options below is given):
 
       [checkpoint:(path, every)] persists the exploration state to [path]
       (atomically, through {!Asyncolor_resilience.Checkpoint}) whenever at
@@ -139,9 +150,9 @@ module Make (P : Asyncolor_kernel.Protocol.S) : sig
       ({!Asyncolor_resilience.Budget}); [stop] is an arbitrary
       cancellation callback (e.g. {!Asyncolor_resilience.Stop.requested}
       fed by signal handlers), polled with the current number of interned
-      configurations.  Both are checked at expansion boundaries — per
-      queue entry sequentially, per BFS level in parallel.  When either
-      fires, the run {e degrades, never corrupts}: a final checkpoint is
+      configurations.  Both are checked at the same boundary in every
+      builder: before each pending entry is merged.  When either fires,
+      the run {e degrades, never corrupts}: a final checkpoint is
       written (if configured) while the pending set is intact, and the
       returned report is a well-formed truncation with [complete = false]
       (unless every pending configuration was terminal anyway) — exactly
@@ -151,19 +162,23 @@ module Make (P : Asyncolor_kernel.Protocol.S) : sig
       The run is traced out-of-band — never through stdout, so the
       deterministic-output guarantee is untouched: the report is
       byte-identical with tracing on or off.  The whole call is an
-      ["explore"] span; the parallel builder emits one ["bfs.level"] span
-      per BFS level with ["bfs.expand"]/["bfs.intern"]/["bfs.merge"]
-      child scopes and the pool's per-domain lanes underneath; checkpoint
-      writes are ["checkpoint.save"] spans and the final analyses
+      ["explore"] span; the pipelined builder emits one ["bfs.level"]
+      span per BFS level with the executor's ["exec.task"] spans on
+      per-domain [exec-worker-N] lanes underneath; checkpoint writes are
+      ["checkpoint.save"] spans and the final analyses
       ["analyze.livelock"]/["analyze.worstcase"].  Counters:
       ["explorer.configs"] equals {!report.configs} exactly on fresh
       [`Hashcons] runs, any [jobs] (on resume it counts only newly
       interned configurations); ["explorer.transitions"] likewise tracks
       {!report.transitions}; plus ["explorer.levels"],
-      ["checkpoint.saves"], and the ["explorer.frontier_max"] /
-      ["explorer.shard_max"] gauges.  The [`Reference] oracle is
-      deliberately uninstrumented — its counters stay 0 — so differential
-      tests compare protocol behaviour, not plumbing.
+      ["checkpoint.saves"], ["explorer.wait_ns"] (time the FIFO merge
+      spent blocked on the head expansion future — the barrier-wait the
+      κ overlap removes), ["explorer.overlap_submits"] (expansions
+      submitted past the current level boundary), and the
+      ["explorer.frontier_max"] / ["exec.kappa_overlap"] gauges.  The
+      [`Reference] oracle is deliberately uninstrumented — its counters
+      stay 0 — so differential tests compare protocol behaviour, not
+      plumbing.
 
       @raise Invalid_argument when the graph has more than
       [Sys.int_size - 1] nodes (activation masks could not name every
@@ -201,6 +216,7 @@ module Make (P : Asyncolor_kernel.Protocol.S) : sig
 
   val explore_resume :
     ?jobs:int ->
+    ?policy:Asyncolor_util.Executor.policy ->
     ?checkpoint:string * int ->
     ?budget:Asyncolor_resilience.Budget.t ->
     ?stop:(configs:int -> bool) ->
@@ -216,7 +232,8 @@ module Make (P : Asyncolor_kernel.Protocol.S) : sig
       [max_violations] — come from the checkpoint; only the things a
       checkpoint cannot serialise are re-supplied: the safety closures
       (which must be the same predicates for the byte-identity guarantee
-      to cover violation messages), the degree of parallelism, and the
+      to cover violation messages), the degree of parallelism and
+      execution policy ([jobs]/[policy] as in {!explore}), and the
       observability sink ([obs] as in {!explore}, with an extra
       ["checkpoint.load"] span; the ["explorer.configs"] counter counts
       only configurations interned {e after} the resume point).

@@ -1,6 +1,6 @@
 module Graph = Asyncolor_topology.Graph
 module Adversary = Asyncolor_kernel.Adversary
-module Domain_pool = Asyncolor_util.Domain_pool
+module Executor = Asyncolor_util.Executor
 module Budget = Asyncolor_resilience.Budget
 module Obs = Asyncolor_obs.Obs
 
@@ -37,8 +37,8 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
     let engine = E.create graph ~idents in
     probe_restored ~max_steps engine (E.snapshot engine) pair
 
-  let hunt ?max_steps ?(jobs = 1) ?budget ?stop ?(obs = Obs.disabled) graph
-      ~idents =
+  let hunt ?max_steps ?(jobs = 1) ?policy ?budget ?stop ?(obs = Obs.disabled)
+      graph ~idents =
     let max_steps =
       match max_steps with Some m -> m | None -> default_steps (Graph.n graph)
     in
@@ -68,7 +68,12 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
         ]
       "lockhunt"
     @@ fun () ->
-    if jobs <= 1 || nedges <= 1 then begin
+    let policy =
+      match policy with
+      | Some p -> p
+      | None -> if jobs <= 1 then Executor.Serial else Executor.Synchronous
+    in
+    if policy = Executor.Serial || jobs <= 1 || nedges <= 1 then begin
       let engine = E.create graph ~idents in
       let initial = E.snapshot engine in
       let acc = ref [] in
@@ -83,7 +88,7 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
     end
     else begin
       (* Contiguous slices, one private engine per slice; findings come
-         back in edge order because [Domain_pool.map] merges by index.
+         back in edge order because [Executor.map] merges by index.
          Under a budget/stop cut each slice keeps its probed prefix, so
          the merged result is still sorted by edge order within slices. *)
       let jobs = min jobs nedges in
@@ -91,8 +96,8 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
         Array.init jobs (fun s -> (nedges * s / jobs, nedges * (s + 1) / jobs))
       in
       let per_slice =
-        Domain_pool.with_pool ~obs ~jobs (fun pool ->
-            Domain_pool.map pool
+        Executor.with_executor ~obs ~policy ~jobs (fun exec ->
+            Executor.map exec
               (fun (lo, hi) ->
                 let engine = E.create graph ~idents in
                 let initial = E.snapshot engine in

@@ -1,12 +1,15 @@
 module Adversary = Asyncolor_kernel.Adversary
 module Prng = Asyncolor_util.Prng
-module Domain_pool = Asyncolor_util.Domain_pool
+module Executor = Asyncolor_util.Executor
 module Checker = Asyncolor.Checker
 
-let map_cells ?jobs f cells =
-  match jobs with
-  | Some j when j <= 1 -> List.map f cells
-  | _ -> Domain_pool.with_pool ?jobs (fun pool -> Domain_pool.map_list pool f cells)
+let map_cells ?jobs ?policy f cells =
+  match (jobs, policy) with
+  | Some j, None when j <= 1 -> List.map f cells
+  | _, Some Executor.Serial -> List.map f cells
+  | _ ->
+      Executor.with_executor ?policy ?jobs (fun exec ->
+          Executor.map_list exec f cells)
 
 let adversary_suite ~seed ~n =
   ignore n;

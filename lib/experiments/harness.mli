@@ -4,15 +4,22 @@
 
 module Adversary = Asyncolor_kernel.Adversary
 
-val map_cells : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+val map_cells :
+  ?jobs:int ->
+  ?policy:Asyncolor_util.Executor.policy ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
 (** The run-core fan-out: run one function per independent sweep cell
     (an (adversary-suite × identifier-assignment × n) combination, an
-    experiment, …) across [jobs] domains, results merged back in input
-    order.  Cells must be self-contained — derive PRNG seeds from the
-    cell description, share no mutable state — which makes the output
-    byte-identical for every [jobs] value.  [jobs] defaults to
-    {!Asyncolor_util.Domain_pool.default_jobs}; [jobs <= 1] runs
-    sequentially in the calling domain with no pool spawned. *)
+    experiment, …) across [jobs] domains of an
+    {!Asyncolor_util.Executor}, results merged back in input order.
+    Cells must be self-contained — derive PRNG seeds from the cell
+    description, share no mutable state — which makes the output
+    byte-identical for every [jobs] value and policy.  [jobs] defaults
+    to {!Asyncolor_util.Executor.default_jobs}; [jobs <= 1] (with no
+    explicit policy) and [~policy:Serial] run sequentially in the
+    calling domain with no executor spawned. *)
 
 val adversary_suite : seed:int -> n:int -> Adversary.t list
 (** The standard stress suite: synchronous, sequential, round-robin,

@@ -1,5 +1,5 @@
 module Prng = Asyncolor_util.Prng
-module Domain_pool = Asyncolor_util.Domain_pool
+module Executor = Asyncolor_util.Executor
 module Budget = Asyncolor_resilience.Budget
 module Obs = Asyncolor_obs.Obs
 
@@ -118,9 +118,14 @@ let save_finding ~dir f =
   Trace.save ~path:raw f.trace;
   Trace.save ~path:min f.shrunk
 
-let campaign ?(jobs = 1) ?budget ?stop ?corpus_dir ?algos ?mutation ?max_n
-    ?(obs = Obs.disabled) ~seed ~execs () =
+let campaign ?(jobs = 1) ?policy ?budget ?stop ?corpus_dir ?algos ?mutation
+    ?max_n ?(obs = Obs.disabled) ~seed ~execs () =
   let octx = make_octx obs in
+  let policy =
+    match policy with
+    | Some p -> p
+    | None -> if jobs <= 1 then Executor.Serial else Executor.Synchronous
+  in
   let should_stop () =
     (match stop with Some f -> f () | None -> false)
     || match budget with Some b -> Budget.exceeded b | None -> false
@@ -141,7 +146,7 @@ let campaign ?(jobs = 1) ?budget ?stop ?corpus_dir ?algos ?mutation ?max_n
      ~args:[ ("seed", string_of_int seed); ("execs", string_of_int execs) ]
      "fuzz.campaign"
   @@ fun () ->
-   Domain_pool.with_pool ~obs ~jobs (fun pool ->
+   Executor.with_executor ~obs ~policy ~jobs (fun exec ->
        let lo = ref 0 in
        while !lo < execs do
          if should_stop () then begin
@@ -157,7 +162,7 @@ let campaign ?(jobs = 1) ?budget ?stop ?corpus_dir ?algos ?mutation ?max_n
                  [ ("lo", string_of_int !lo); ("hi", string_of_int hi) ]
                "fuzz.batch"
                (fun () ->
-                 Domain_pool.map pool
+                 Executor.map exec
                    (fun i -> run_one ~obs ?algos ?mutation ?max_n ~seed i)
                    indices)
            in

@@ -7,7 +7,8 @@
     ({!Shrink.minimize}) and records both raw and shrunk traces.  Because
     streams are per-exec, the report — findings included — is identical
     whatever [jobs] is and however the batch boundaries fall; parallelism
-    over {!Asyncolor_util.Domain_pool} changes wall clock only.
+    over {!Asyncolor_util.Executor} changes wall clock only, under every
+    execution policy.
 
     [budget] / [stop] are polled between batches: a tripped budget or a
     delivered signal ends the campaign early with [complete = false] and
@@ -46,6 +47,7 @@ val run_one :
 
 val campaign :
   ?jobs:int ->
+  ?policy:Asyncolor_util.Executor.policy ->
   ?budget:Asyncolor_resilience.Budget.t ->
   ?stop:(unit -> bool) ->
   ?corpus_dir:string ->
@@ -61,11 +63,18 @@ val campaign :
     [t%04d.trace] (raw) and [t%04d.min.trace] (shrunk) keyed by exec
     index, as they are found — an interrupted campaign keeps its corpus.
 
+    [policy] (default: [Serial] when [jobs <= 1], else [Synchronous])
+    selects the executor policy the batches run under; an
+    [Asynchronous {max_active; _}] policy bounds the in-flight execs per
+    batch instead of queueing the whole batch at once.  The report is
+    byte-identical across policies.
+
     [obs] (default {!Asyncolor_obs.Obs.disabled}) traces the campaign
     out-of-band (the report stays a pure function of [seed]): a
-    ["fuzz.campaign"] span containing one ["fuzz.batch"] span per pool
-    batch, a ["fuzz.shrink"] span per finding, and the pool's per-domain
-    lanes.  Counters: ["fuzz.execs"] (scenarios generated and executed),
+    ["fuzz.campaign"] span containing one ["fuzz.batch"] span per
+    executor batch, a ["fuzz.shrink"] span per finding, and the
+    executor's per-domain lanes.  Counters: ["fuzz.execs"] (scenarios
+    generated and executed),
     ["fuzz.findings"], ["fuzz.shrink_execs"] (candidate re-executions
     spent minimising), ["fuzz.detector_ns"] (cumulative nanoseconds in
     the invariant suite, across all domains) and the

@@ -10,7 +10,7 @@
     - {b Counters}: monotonically accumulated integers, sharded per
       domain ({!Counter.add} touches one atomic cell chosen by the
       executing domain's id) and merged on read — safe and cheap under
-      {!Asyncolor_util.Domain_pool} fan-outs.
+      {!Asyncolor_util.Executor} fan-outs.
     - {b Gauges}: last-write or running-max integers for level-style
       measurements (frontier width, shard occupancy).
 
@@ -86,7 +86,7 @@ val interval :
   unit
 (** Record an interval whose start was sampled earlier with {!now} and
     which ends now — for measurements that bracket blocking operations
-    ({!Asyncolor_util.Domain_pool}'s queue-wait lanes). *)
+    ({!Asyncolor_util.Executor}'s worker-wait lanes). *)
 
 val set_lane : t -> tid:int -> string -> unit
 (** Give a lane a human name, exported as Chrome [thread_name]

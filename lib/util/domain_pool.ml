@@ -1,218 +1,30 @@
-(* A fixed-size pool of OCaml 5 domains fed through a Mutex/Condition work
-   queue.  One batch (a [map] call) is in flight at a time; its items are
-   drained by the worker domains *and* the calling domain, so a pool of
-   [jobs] runs [jobs] items concurrently with only [jobs - 1] spawned
-   domains, and [jobs = 1] degenerates to a plain sequential loop.
+(* A thin fork-join facade over the async execution core: a "pool" is an
+   {!Executor.t} pinned to the [Synchronous] policy, so [map] queues the
+   whole batch and joins — exactly the old Mutex/Condition pool's
+   semantics (caller drains alongside jobs - 1 domains, lowest-index
+   error, batch cancellation, retries), now riding the work-stealing
+   deques.  Jobs clamping lives in [Executor.create], the one sanitation
+   point for every client. *)
 
-   Failure isolation: an item that raises is retried up to [retries]
-   times; once its error is final the batch is cancelled — no further
-   items are handed out ([next_item]/[drain] short-circuit on [failed]) —
-   and the in-flight items are merely awaited, so one poisoned item costs
-   at most [jobs] item executions beyond itself instead of the whole
-   remaining batch.  The recorded error keeps the lowest failing index:
-   items are handed out in index order, so the overall lowest failing
-   index is always dispatched (and hence recorded) before cancellation
-   can skip it — failures stay deterministic whatever the domain
-   scheduling. *)
+type t = Executor.t
 
-module Obs = Asyncolor_obs.Obs
-
-type item_error = {
-  index : int;  (* input index whose execution failed *)
-  attempts : int;  (* executions performed, retries included *)
+type item_error = Executor.batch_error = {
+  index : int;
+  attempts : int;
   error : exn;
   backtrace : Printexc.raw_backtrace;
 }
 
-type batch = {
-  run_item : int -> unit;  (* never raises; errors are recorded *)
-  total : int;
-  mutable next : int;  (* next item index to hand out *)
-  mutable active : int;  (* items handed out and still executing *)
-  mutable finished : int;  (* items fully executed *)
-  mutable failed : bool;  (* a final error was recorded: stop dispensing *)
-}
+let default_jobs = Executor.default_jobs
 
-type t = {
-  jobs : int;
-  mutex : Mutex.t;
-  work_available : Condition.t;
-  batch_done : Condition.t;
-  mutable batch : batch option;
-  mutable stopping : bool;
-  mutable domains : unit Domain.t list;
-  (* observability: spans land on the executing domain's lane, so a trace
-     shows one compute/wait timeline per pool domain; counters are
-     per-domain sharded in the sink and merged on read *)
-  obs : Obs.t;
-  c_items : Obs.Counter.t;
-  c_retries : Obs.Counter.t;
-}
+let create ?obs ?jobs () =
+  Executor.create ?obs ~policy:Executor.Synchronous ?jobs ()
 
-let default_jobs () = Domain.recommended_domain_count ()
-let jobs t = t.jobs
-
-(* A batch is complete when nothing more will run: every item ran, or the
-   batch failed and the in-flight items have landed. *)
-let batch_complete b = b.active = 0 && (b.failed || b.next >= b.total)
-
-(* Grab the next item index of the current batch, or block until work
-   arrives.  Called with [t.mutex] held; returns with it released. *)
-let rec next_item t =
-  if t.stopping then begin
-    Mutex.unlock t.mutex;
-    None
-  end
-  else
-    match t.batch with
-    | Some b when (not b.failed) && b.next < b.total ->
-        let i = b.next in
-        b.next <- i + 1;
-        b.active <- b.active + 1;
-        Mutex.unlock t.mutex;
-        Some (b, i)
-    | _ ->
-        Condition.wait t.work_available t.mutex;
-        next_item t
-
-let finish_item t b =
-  Mutex.lock t.mutex;
-  b.active <- b.active - 1;
-  b.finished <- b.finished + 1;
-  if batch_complete b then Condition.broadcast t.batch_done;
-  Mutex.unlock t.mutex
-
-let rec worker t =
-  (* The time between finishing one item and receiving the next is queue
-     wait — exported as a "pool.wait" interval on this domain's lane, so
-     a trace separates starvation from compute. *)
-  let t0 = Obs.now t.obs in
-  Mutex.lock t.mutex;
-  match next_item t with
-  | None -> ()
-  | Some (b, i) ->
-      Obs.interval t.obs "pool.wait" ~start:t0;
-      b.run_item i;
-      finish_item t b;
-      worker t
-
-let create ?(obs = Obs.disabled) ?jobs () =
-  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
-  let t =
-    {
-      jobs;
-      mutex = Mutex.create ();
-      work_available = Condition.create ();
-      batch_done = Condition.create ();
-      batch = None;
-      stopping = false;
-      domains = [];
-      obs;
-      c_items = Obs.counter obs "pool.items";
-      c_retries = Obs.counter obs "pool.retries";
-    }
-  in
-  t.domains <-
-    List.init (jobs - 1) (fun w ->
-        Domain.spawn (fun () ->
-            Obs.set_lane obs
-              ~tid:(Domain.self () :> int)
-              (Printf.sprintf "pool-worker-%d" (w + 1));
-            worker t));
-  t
-
-let shutdown t =
-  Mutex.lock t.mutex;
-  t.stopping <- true;
-  Condition.broadcast t.work_available;
-  Mutex.unlock t.mutex;
-  List.iter Domain.join t.domains;
-  t.domains <- []
-
-let map_result t ?(retries = 0) f input =
-  let total = Array.length input in
-  if total = 0 then Ok [||]
-  else begin
-    let results = Array.make total None in
-    (* first (lowest-index) final error wins, so failures are deterministic
-       regardless of which domain hit them *)
-    let error = ref None in
-    let rec batch =
-      { run_item; total; next = 0; active = 0; finished = 0; failed = false }
-    and record_error e =
-      Mutex.lock t.mutex;
-      (match !error with
-      | Some prev when prev.index <= e.index -> ()
-      | _ -> error := Some e);
-      batch.failed <- true;
-      Mutex.unlock t.mutex
-    and run_item i =
-      let rec attempt k =
-        Obs.Counter.incr (if k = 1 then t.c_items else t.c_retries);
-        match f input.(i) with
-        | v -> results.(i) <- Some v
-        | exception exn ->
-            let backtrace = Printexc.get_raw_backtrace () in
-            if k <= retries then attempt (k + 1)
-            else record_error { index = i; attempts = k; error = exn; backtrace }
-      in
-      if Obs.enabled t.obs then
-        Obs.span t.obs
-          ~args:[ ("item", string_of_int i) ]
-          "pool.item"
-          (fun () -> attempt 1)
-      else attempt 1
-    in
-    Mutex.lock t.mutex;
-    if t.stopping then begin
-      Mutex.unlock t.mutex;
-      invalid_arg "Domain_pool.map: pool is shut down"
-    end;
-    if t.batch <> None then begin
-      Mutex.unlock t.mutex;
-      invalid_arg "Domain_pool.map: pool already has a batch in flight"
-    end;
-    t.batch <- Some batch;
-    Condition.broadcast t.work_available;
-    (* the calling domain drains items alongside the workers *)
-    let rec drain () =
-      if (not batch.failed) && batch.next < batch.total then begin
-        let i = batch.next in
-        batch.next <- i + 1;
-        batch.active <- batch.active + 1;
-        Mutex.unlock t.mutex;
-        batch.run_item i;
-        Mutex.lock t.mutex;
-        batch.active <- batch.active - 1;
-        batch.finished <- batch.finished + 1;
-        if batch_complete batch then Condition.broadcast t.batch_done;
-        drain ()
-      end
-    in
-    drain ();
-    let join0 = Obs.now t.obs in
-    while not (batch_complete batch) do
-      Condition.wait t.batch_done t.mutex
-    done;
-    Obs.interval t.obs "pool.join" ~start:join0;
-    t.batch <- None;
-    Mutex.unlock t.mutex;
-    match !error with
-    | Some e -> Error e
-    | None ->
-        Ok
-          (Array.map
-             (function Some v -> v | None -> assert false (* every item ran *))
-             results)
-  end
-
-let map t ?retries f input =
-  match map_result t ?retries f input with
-  | Ok out -> out
-  | Error e -> Printexc.raise_with_backtrace e.error e.backtrace
-
-let map_list t f input = Array.to_list (map t f (Array.of_list input))
+let jobs = Executor.jobs
+let map_result = Executor.map_result
+let map = Executor.map
+let map_list = Executor.map_list
+let shutdown = Executor.shutdown
 
 let with_pool ?obs ?jobs f =
-  let t = create ?obs ?jobs () in
-  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+  Executor.with_executor ?obs ~policy:Executor.Synchronous ?jobs f

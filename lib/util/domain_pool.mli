@@ -1,5 +1,7 @@
-(** A reusable pool of OCaml 5 domains behind a [Mutex]/[Condition] work
-    queue — the parallel half of the run-core layer.
+(** Fork-join parallel map — a thin facade over {!Executor} pinned to
+    the [Synchronous] policy, kept for the many clients that want "run
+    this batch on [jobs] domains and give me the results in order"
+    without naming a policy.
 
     The sweep harness and the experiments registry push independent
     (adversary × identifier-assignment × n) cells through {!map}; results
@@ -8,25 +10,25 @@
     derive PRNG seeds per cell (as {!Asyncolor_experiments.Harness} does)
     and share no mutable state across cells.
 
-    A pool runs one {!map} at a time; the calling domain participates in
-    draining the batch, so [create ~jobs:n] spawns only [n - 1] domains
-    and [jobs = 1] executes sequentially on the caller with no domain
-    spawned at all.  Nested or concurrent [map] calls on the same pool
-    raise [Invalid_argument].
+    A pool of [jobs] runs [jobs] items concurrently with only [jobs - 1]
+    spawned domains — the calling domain participates in draining the
+    batch while it waits — and [jobs = 1] executes sequentially on the
+    caller with no domain spawned at all.
 
-    {b Failure isolation.}  An item that raises is retried up to
-    [retries] times (default 0).  Once an item's error is final the batch
-    is {e cancelled}: no further items are handed out, only the at most
-    [jobs] in-flight items are awaited — one poisoned item no longer pays
-    for the whole remaining batch.  Because items are handed out in index
-    order, the overall lowest failing index is always dispatched before
-    cancellation can skip anything below it, so the reported failure is
-    deterministic regardless of domain scheduling.  The pool itself stays
-    usable after a failed batch. *)
+    {b Failure isolation} (see {!Executor.map_result}, which implements
+    it).  An item that raises is retried up to [retries] times (default
+    0).  Once an item's error is final the batch is {e cancelled}: tasks
+    not yet started complete as no-ops, only in-flight items run to
+    completion — one poisoned item no longer pays for the whole
+    remaining batch.  Because items are dispatched in index order, the
+    overall lowest failing index is always executed before cancellation
+    can skip anything below it, so the reported failure is deterministic
+    regardless of domain scheduling.  The pool stays usable after a
+    failed batch. *)
 
-type t
+type t = Executor.t
 
-type item_error = {
+type item_error = Executor.batch_error = {
   index : int;  (** input index whose execution failed *)
   attempts : int;  (** executions performed, retries included *)
   error : exn;  (** the exception of the final attempt *)
@@ -37,17 +39,18 @@ val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
 
 val create : ?obs:Asyncolor_obs.Obs.t -> ?jobs:int -> unit -> t
-(** [create ~jobs ()] spawns [jobs - 1] worker domains (clamped to at
-    least 1 job; default {!default_jobs}).  The pool is reusable across
+(** [create ~jobs ()] spawns [jobs - 1] worker domains.  [jobs] is
+    clamped to at least 1 {e at the executor boundary}
+    ({!Executor.create}), so [~jobs:0] and negatives behave as
+    [~jobs:1]; default {!default_jobs}.  The pool is reusable across
     many {!map} calls until {!shutdown}.
 
-    [obs] (default {!Asyncolor_obs.Obs.disabled}) traces the pool: every
-    item execution is a ["pool.item"] span on the executing domain's
-    lane, the gap between a worker's items is a ["pool.wait"] interval,
-    the caller's wait for stragglers a ["pool.join"] interval, and the
-    ["pool.items"]/["pool.retries"] counters accumulate executions —
-    per-domain sharded, so the fan-out never contends on them.  Worker
-    lanes are named [pool-worker-N] in exported traces. *)
+    [obs] (default {!Asyncolor_obs.Obs.disabled}) traces execution
+    through the executor's lanes: every item is an ["exec.task"] span on
+    the executing domain's lane, worker idle gaps are ["exec.wait"]
+    intervals, and the ["exec.tasks"]/["exec.retries"]/["exec.steals"]
+    counters accumulate per-domain sharded.  Worker lanes are named
+    [exec-worker-N] in exported traces. *)
 
 val jobs : t -> int
 

@@ -5,10 +5,13 @@
 #
 #   SUMMARY  — output of `bisect-ppx-report summary --per-file`, i.e.
 #              lines of the form " 86.67 %   lib/obs/obs.ml".
-#   BASELINE — floors, one per line: "<dir-prefix> <min-percent>",
-#              '#' comments and blank lines ignored.
+#   BASELINE — floors, one per line: "<prefix> <min-percent>",
+#              '#' comments and blank lines ignored.  A prefix names
+#              either a directory ("lib/util") or a module stem
+#              ("lib/util/executor", matching executor.ml and any
+#              executor_*.ml next to it).
 #
-# A directory's coverage is the unweighted mean of its files' line
+# A prefix's coverage is the unweighted mean of its files' line
 # coverage — crude but monotone, which is all a ratchet needs.  The
 # check fails (exit 1) if any directory falls below its floor, and
 # prints the measured numbers either way so CI logs double as a
@@ -21,8 +24,9 @@ baseline=${2:?baseline file}
 status=0
 while read -r prefix floor; do
   case "$prefix" in ''|'#'*) continue ;; esac
-  mean=$(awk -v p="$prefix/" '
-    $2 == "%" && index($3, p) == 1 { sum += $1; n += 1 }
+  mean=$(awk -v p="$prefix" '
+    $2 == "%" && (index($3, p "/") == 1 || index($3, p ".") == 1) \
+      { sum += $1; n += 1 }
     END { if (n == 0) print "none"; else printf "%.2f", sum / n }
   ' "$summary")
   if [ "$mean" = "none" ]; then

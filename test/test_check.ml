@@ -212,15 +212,16 @@ let test_masks_singletons =
    witness schedules, the config ids embedded in livelock messages —
    everything) to the seed [`Reference] implementation on the exhaustive
    instances the paper claims rest on (E6, E13, E16, E17), and identical to
-   itself for every [jobs] value: the deterministic-output guarantee of the
-   level-synchronous merge. *)
+   itself for every [jobs] value and execution policy: the
+   deterministic-output guarantee of the pipelined FIFO merge. *)
 let diff_report (type s r o)
     (module P : Asyncolor_kernel.Protocol.S
       with type state = s and type register = r and type output = o)
     ?max_configs ?check_outputs ~mode graph ~idents () =
   let module E = Explorer.Make (P) in
-  let explore ?jobs impl =
-    E.explore ?max_configs ?check_outputs ~mode ~impl ?jobs graph ~idents
+  let explore ?jobs ?policy impl =
+    E.explore ?max_configs ?check_outputs ~mode ~impl ?jobs ?policy graph
+      ~idents
   in
   let report = Alcotest.testable E.pp_report ( = ) in
   let reference = explore `Reference in
@@ -228,7 +229,29 @@ let diff_report (type s r o)
   check report "hash-consed jobs=2 = reference" reference
     (explore ~jobs:2 `Hashcons);
   check report "hash-consed jobs=4 = reference" reference
-    (explore ~jobs:4 `Hashcons)
+    (explore ~jobs:4 `Hashcons);
+  (* the full policy × jobs matrix of the async execution core *)
+  List.iter
+    (fun (name, jobs, policy) ->
+      check report (name ^ " = reference") reference
+        (explore ~jobs ~policy `Hashcons))
+    [
+      ("serial", 1, Asyncolor_util.Executor.Serial);
+      ("sync jobs=2", 2, Asyncolor_util.Executor.Synchronous);
+      ("sync jobs=4", 4, Asyncolor_util.Executor.Synchronous);
+      ( "async κ=0.5 jobs=1",
+        1,
+        Asyncolor_util.Executor.asynchronous ~kappa:0.5 ~jobs:1 () );
+      ( "async κ=0.5 jobs=2",
+        2,
+        Asyncolor_util.Executor.asynchronous ~kappa:0.5 ~jobs:2 () );
+      ( "async κ=0.5 jobs=4",
+        4,
+        Asyncolor_util.Executor.asynchronous ~kappa:0.5 ~jobs:4 () );
+      ( "async κ=0 jobs=4",
+        4,
+        Asyncolor_util.Executor.asynchronous ~kappa:0.0 ~jobs:4 () );
+    ]
 
 let test_differential_alg2_c3 () =
   (* the E6/E13 instances: every C3 identifier assignment the experiments
@@ -439,14 +462,22 @@ let test_stop_callback_equivalent_to_max_configs_contract () =
     (stopped.configs >= 10 && stopped.configs < 64)
 
 let test_reference_rejects_crash_options () =
-  Alcotest.check_raises "reference oracle has no checkpoint support"
-    (Invalid_argument
-       "Explorer.explore: the `Reference oracle supports neither checkpoints, \
-        budgets nor stop callbacks (use `Hashcons)") (fun () ->
+  let expected =
+    Invalid_argument
+      "Explorer.explore: the `Reference oracle supports neither checkpoints, \
+       budgets, stop callbacks nor execution policies (use `Hashcons)"
+  in
+  Alcotest.check_raises "reference oracle has no checkpoint support" expected
+    (fun () ->
       ignore
         (E3.explore ~impl:`Reference
            ~stop:(fun ~configs:_ -> false)
-           g3 ~idents:[| 0; 1; 2 |]))
+           g3 ~idents:[| 0; 1; 2 |]));
+  Alcotest.check_raises "reference oracle has no policy support" expected
+    (fun () ->
+      ignore
+        (E3.explore ~impl:`Reference ~policy:Asyncolor_util.Executor.Serial g3
+           ~idents:[| 0; 1; 2 |]))
 
 let test_lockhunt_budget_truncates () =
   let module H = Asyncolor_check.Lockhunt.Make (Asyncolor.Algorithm2.P) in

@@ -347,6 +347,320 @@ let test_pool_shutdown_after_failed_batch () =
     | exception Boom x -> check Alcotest.int "lowest index" 2 x
   done
 
+(* --- Executor: work-stealing deque ----------------------------------- *)
+
+module Executor = Asyncolor_util.Executor
+module Ws_deque = Executor.Ws_deque
+module Obs = Asyncolor_obs.Obs
+
+(* Sequential linearizability against the obvious list model (head = the
+   steal/FIFO end, tail = the owner/LIFO end): every operation's result
+   and the deque length must match the model at each step.  Ops are 0 =
+   push (of the next integer), 1 = pop, 2 = steal. *)
+let prop_deque_matches_model =
+  QCheck.Test.make ~name:"Ws_deque: sequential ops match the list model"
+    ~count:500
+    QCheck.(list (int_range 0 2))
+    (fun ops ->
+      let d = Ws_deque.create () in
+      let model = ref [] in
+      let next = ref 0 in
+      List.for_all
+        (fun op ->
+          let step_ok =
+            match op with
+            | 0 ->
+                let v = !next in
+                incr next;
+                Ws_deque.push d v;
+                model := !model @ [ v ];
+                true
+            | 1 -> (
+                let got = Ws_deque.pop d in
+                match List.rev !model with
+                | [] -> got = None
+                | last :: rev_rest ->
+                    model := List.rev rev_rest;
+                    got = Some last)
+            | _ -> (
+                let got = Ws_deque.steal d in
+                match !model with
+                | [] -> got = None
+                | first :: rest ->
+                    model := rest;
+                    got = Some first)
+          in
+          step_ok && Ws_deque.length d = List.length !model)
+        ops)
+
+let rec strictly_increasing = function
+  | a :: (b :: _ as tl) -> a < b && strictly_increasing tl
+  | _ -> true
+
+let test_deque_concurrent_conservation () =
+  (* One owner pushes 0..N-1 (popping every fifth push, so the grow path
+     and the owner/thief races on a shrinking bottom are exercised) while
+     three thief domains steal continuously.  Two linearizability facts
+     survive any interleaving: every item is handed out exactly once
+     (conservation), and each thief's stolen sequence is strictly
+     increasing (steals come off a monotone top, and the live region of
+     the buffer always holds increasing values). *)
+  let d = Ws_deque.create () in
+  let total = 20_000 in
+  let done_ = Atomic.make false in
+  let stolen = Array.init 3 (fun _ -> ref []) in
+  let thieves =
+    Array.map
+      (fun acc ->
+        Domain.spawn (fun () ->
+            let rec loop () =
+              match Ws_deque.steal d with
+              | Some v ->
+                  acc := v :: !acc;
+                  loop ()
+              | None ->
+                  if not (Atomic.get done_) then begin
+                    Domain.cpu_relax ();
+                    loop ()
+                  end
+            in
+            loop ()))
+      stolen
+  in
+  let popped = ref [] in
+  for i = 0 to total - 1 do
+    Ws_deque.push d i;
+    if i mod 5 = 0 then
+      match Ws_deque.pop d with
+      | Some v -> popped := v :: !popped
+      | None -> ()
+  done;
+  Atomic.set done_ true;
+  Array.iter Domain.join thieves;
+  let rec drain () =
+    match Ws_deque.pop d with
+    | Some v ->
+        popped := v :: !popped;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  let all =
+    List.concat (!popped :: Array.to_list (Array.map (fun r -> !r) stolen))
+  in
+  check Alcotest.int "every pushed item handed out exactly once" total
+    (List.length all);
+  Alcotest.(check (list int))
+    "no duplicates, no losses"
+    (List.init total Fun.id)
+    (List.sort compare all);
+  Array.iteri
+    (fun k acc ->
+      check Alcotest.bool
+        (Printf.sprintf "thief %d stole in increasing order" k)
+        true
+        (strictly_increasing (List.rev !acc)))
+    stolen
+
+(* --- Executor: policies, clamping, windows --------------------------- *)
+
+let test_executor_jobs_clamped () =
+  (* Satellite guarantee: jobs <= 0 is sanitised once, at the executor
+     boundary, for every client. *)
+  List.iter
+    (fun jobs ->
+      Executor.with_executor ~jobs (fun exec ->
+          check Alcotest.int
+            (Printf.sprintf "jobs:%d clamps to 1" jobs)
+            1 (Executor.jobs exec)))
+    [ 0; -3 ];
+  Executor.with_executor ~policy:Executor.Serial ~jobs:8 (fun exec ->
+      check Alcotest.int "Serial forces jobs=1" 1 (Executor.jobs exec));
+  Domain_pool.with_pool ~jobs:0 (fun pool ->
+      check Alcotest.int "Domain_pool inherits the clamp" 1
+        (Domain_pool.jobs pool));
+  Domain_pool.with_pool ~jobs:(-7) (fun pool ->
+      check Alcotest.int "negative jobs too" 1 (Domain_pool.jobs pool))
+
+let test_policy_parsing () =
+  let name s = Executor.policy_name (Executor.policy_of_string ~jobs:4 s) in
+  check Alcotest.string "serial" "serial" (name "serial");
+  check Alcotest.string "sync" "synchronous" (name "sync");
+  check Alcotest.string "SYNC is case-insensitive" "synchronous" (name "SYNC");
+  check Alcotest.string "async" "asynchronous" (name "async");
+  (match Executor.policy_of_string ~jobs:4 "level-sync" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument on an unknown policy");
+  (match Executor.asynchronous ~kappa:1.5 ~jobs:2 () with
+  | Executor.Asynchronous { kappa; max_active } ->
+      check (Alcotest.float 0.0) "kappa clamped to 1" 1.0 kappa;
+      check Alcotest.int "max_active defaults to 4*jobs" 8 max_active
+  | _ -> Alcotest.fail "asynchronous must build Asynchronous");
+  check (Alcotest.float 0.0) "Synchronous is a full barrier" 1.0
+    (Executor.policy_kappa Executor.Synchronous);
+  check (Alcotest.float 0.0) "kappa surfaces from Asynchronous" 0.25
+    (Executor.policy_kappa (Executor.asynchronous ~kappa:0.25 ~jobs:2 ()))
+
+let test_executor_policies_agree () =
+  let input = Array.init 300 Fun.id in
+  let expected = Array.map (fun x -> x * 3) input in
+  List.iter
+    (fun policy ->
+      Executor.with_executor ~policy ~jobs:4 (fun exec ->
+          Alcotest.(check (array int))
+            (Executor.policy_name policy ^ " output")
+            expected
+            (Executor.map exec (fun x -> x * 3) input)))
+    [
+      Executor.Serial;
+      Executor.Synchronous;
+      Executor.asynchronous ~kappa:0.5 ~jobs:4 ();
+      Executor.asynchronous ~max_active:2 ~jobs:4 ();
+    ]
+
+let metric obs name = Option.value ~default:0 (List.assoc_opt name (Obs.metrics obs))
+
+let test_executor_backpressure_bounded () =
+  (* Slow producer feeding a fast consumer through a max_active=2 window:
+     the in-flight gauge must never exceed the window and the window must
+     actually have stalled submissions (the exec.backpressure counter). *)
+  let obs = Obs.create () in
+  Executor.with_executor ~obs
+    ~policy:(Executor.asynchronous ~max_active:2 ~jobs:2 ())
+    ~jobs:2
+    (fun exec ->
+      let out =
+        Executor.map exec
+          (fun x ->
+            Unix.sleepf 0.001;
+            x + 1)
+          (Array.init 50 Fun.id)
+      in
+      Alcotest.(check (array int))
+        "results intact under the window"
+        (Array.init 50 (fun i -> i + 1))
+        out);
+  check Alcotest.bool "inflight stayed within max_active" true
+    (metric obs "exec.inflight_max" <= 2);
+  check Alcotest.bool "window produced backpressure" true
+    (metric obs "exec.backpressure" > 0);
+  check Alcotest.int "every task ran exactly once" 50 (metric obs "exec.tasks")
+
+let test_executor_async_failure_isolation () =
+  (* Under the Asynchronous policy a poisoned item must cancel the rest
+     of the batch (skipped items never call f) and still report the
+     lowest failing index, deterministically. *)
+  let executed = Atomic.make 0 in
+  Executor.with_executor
+    ~policy:(Executor.asynchronous ~max_active:2 ~jobs:4 ())
+    ~jobs:4
+    (fun exec ->
+      match
+        Executor.map_result exec
+          (fun x ->
+            Atomic.incr executed;
+            if x = 3 then raise (Boom x) else Unix.sleepf 0.001)
+          (Array.init 100 Fun.id)
+      with
+      | Ok _ -> Alcotest.fail "expected an error"
+      | Error e ->
+          check Alcotest.int "lowest failing index" 3 e.Executor.index;
+          check Alcotest.bool "tail of the batch was cancelled" true
+            (Atomic.get executed < 50);
+          (* the executor survives the poisoned batch *)
+          Alcotest.(check (array int))
+            "usable after cancellation"
+            [| 0; 10; 20 |]
+            (Executor.map exec (fun x -> x * 10) [| 0; 1; 2 |]))
+
+let test_executor_submit_await_stream () =
+  (* The future layer under the explorer: a FIFO stream of submissions
+     awaited in order, mixing immediate and computed results. *)
+  Executor.with_executor ~jobs:2 (fun exec ->
+      let futs = List.init 200 (fun i -> Executor.submit exec (fun () -> i * i)) in
+      List.iteri
+        (fun i fut -> check Alcotest.int "in-order await" (i * i) (Executor.await fut))
+        futs);
+  Executor.with_executor ~jobs:2 (fun exec ->
+      let fut = Executor.submit exec (fun () -> raise (Boom 7)) in
+      match Executor.await_result fut with
+      | Error (Boom 7, _) -> ()
+      | Error _ -> Alcotest.fail "wrong exception"
+      | Ok _ -> Alcotest.fail "expected the task's exception")
+
+let test_executor_submit_after_shutdown () =
+  let exec = Executor.create ~jobs:2 () in
+  Executor.shutdown exec;
+  match Executor.submit exec (fun () -> ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument after shutdown"
+
+(* --- Ring ------------------------------------------------------------ *)
+
+module Ring = Asyncolor_util.Ring
+
+let test_ring_fifo_window () =
+  let r = Ring.create ~capacity:2 ~start:100 ~dummy:(-1) () in
+  check Alcotest.int "lo starts at start" 100 (Ring.lo r);
+  for i = 0 to 499 do
+    Ring.push r (i * 2)
+  done;
+  check Alcotest.int "hi advanced" 600 (Ring.hi r);
+  check Alcotest.int "length" 500 (Ring.length r);
+  check Alcotest.int "absolute get" 84 (Ring.get r 142);
+  for _ = 1 to 300 do
+    Ring.drop r
+  done;
+  check Alcotest.int "lo advanced" 400 (Ring.lo r);
+  check Alcotest.int "window survives drops" (2 * 350) (Ring.get r 450);
+  Alcotest.check_raises "get below lo"
+    (Invalid_argument "Ring.get: position 399 outside [400, 600)") (fun () ->
+      ignore (Ring.get r 399));
+  Alcotest.check_raises "get at hi"
+    (Invalid_argument "Ring.get: position 600 outside [400, 600)") (fun () ->
+      ignore (Ring.get r 600))
+
+(* --- Sharded_tbl ----------------------------------------------------- *)
+
+module Int_tbl = Asyncolor_util.Sharded_tbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+end)
+
+let test_sharded_tbl_basics () =
+  let t = Int_tbl.create ~shards:3 16 in
+  check Alcotest.int "shard count rounds up to a power of two" 4
+    (Int_tbl.shards t);
+  for k = 0 to 999 do
+    Int_tbl.add t k (k * 7)
+  done;
+  check Alcotest.int "length sums the shards" 1_000 (Int_tbl.length t);
+  check Alcotest.(option int) "find_opt routes to the owner" (Some 4_900)
+    (Int_tbl.find_opt t 700);
+  check Alcotest.(option int) "absent key" None (Int_tbl.find_opt t 1_000);
+  let lens = Int_tbl.shard_lengths t in
+  check Alcotest.int "shard_lengths sum to length" 1_000
+    (Array.fold_left ( + ) 0 lens);
+  check Alcotest.bool "hash spreads over shards" true
+    (Array.for_all (fun l -> l > 0) lens)
+
+let test_sharded_tbl_explicit_shard () =
+  let t = Int_tbl.create ~shards:4 4 in
+  List.iter
+    (fun k ->
+      let shard = Int_tbl.shard_of t k in
+      Int_tbl.add_in t ~shard k (k + 1);
+      check Alcotest.(option int) "find_opt_in own shard" (Some (k + 1))
+        (Int_tbl.find_opt_in t ~shard k);
+      check Alcotest.(option int) "plain find_opt agrees" (Some (k + 1))
+        (Int_tbl.find_opt t k))
+    [ 0; 17; 123_456; max_int ];
+  let seen = ref [] in
+  Int_tbl.iter (fun k v -> seen := (k, v) :: !seen) t;
+  check Alcotest.int "iter visits every binding" 4 (List.length !seen)
+
 (* --- Jsonout -------------------------------------------------------- *)
 
 module Jsonout = Asyncolor_util.Jsonout
@@ -437,6 +751,37 @@ let () =
             test_pool_retry_rescues_flaky;
           Alcotest.test_case "shutdown after failed batch" `Quick
             test_pool_shutdown_after_failed_batch;
+        ] );
+      ( "ws_deque",
+        [
+          qtest prop_deque_matches_model;
+          Alcotest.test_case "4-domain conservation + steal order" `Quick
+            test_deque_concurrent_conservation;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "jobs <= 0 clamped at the boundary" `Quick
+            test_executor_jobs_clamped;
+          Alcotest.test_case "policy parsing and clamping" `Quick
+            test_policy_parsing;
+          Alcotest.test_case "policies agree on outputs" `Quick
+            test_executor_policies_agree;
+          Alcotest.test_case "backpressure bounds in-flight work" `Quick
+            test_executor_backpressure_bounded;
+          Alcotest.test_case "async failure isolation" `Quick
+            test_executor_async_failure_isolation;
+          Alcotest.test_case "submit/await FIFO stream" `Quick
+            test_executor_submit_await_stream;
+          Alcotest.test_case "submit after shutdown" `Quick
+            test_executor_submit_after_shutdown;
+        ] );
+      ( "ring",
+        [ Alcotest.test_case "absolute-position FIFO" `Quick test_ring_fifo_window ] );
+      ( "sharded_tbl",
+        [
+          Alcotest.test_case "basics" `Quick test_sharded_tbl_basics;
+          Alcotest.test_case "explicit shards" `Quick
+            test_sharded_tbl_explicit_shard;
         ] );
       ( "jsonout",
         [
