@@ -42,7 +42,19 @@
    --trace-out PATH (Chrome trace_event trace of the explore-scale
    section, for Perfetto; enables the obs sink), --metrics (record the
    obs counter/gauge totals — with --json they land under "obs_metrics"
-   in the report, otherwise they print to stderr). *)
+   in the report, otherwise they print to stderr).
+
+   The symmetry-scale section (see run_symmetry_scale) adds:
+   --mem-budget-mb N (override the per-instance heap budgets its legs run
+   under — the CI memory-capped leg), --spill-dir DIR (where the
+   symmetry+spill legs put their level files; default a pid-suffixed
+   directory under the system temp dir), --spill-threshold-mb N (level
+   size for those legs; default 1 MB so every full-size leg actually
+   spills), --sym-full (run the full-size C7/C8 symmetry instances even
+   under --quick — how the committed BENCH baseline gets its headline
+   rows without dragging the full K7 explore-scale leg along).  Its
+   per-instance "symmetry reduction:" stdout lines and the
+   "symmetry_scale" JSON list are what the CI reduction check parses. *)
 
 open Bechamel
 open Toolkit
@@ -264,7 +276,25 @@ type scale_record = {
   sr_sync_wait_ns : int option;
   sr_async_wait_ns : int option;
   sr_overlap_submits : int option;
+  sr_peak_live_words : int;
+      (* major-heap footprint of the serial leg (Gc.quick_stat after the
+         run, Gc.compact before it), the number a --mem-budget-mb limit
+         is compared against *)
+  sr_orbit_ratio : float;
+      (* expanded/interned configs; 1.0 for these unreduced legs *)
 }
+
+(* Peak-footprint probe shared by the scale sections: compact, note the
+   baseline the previous legs left behind (compaction does not always
+   return every fragmented pool, so the baseline is rarely zero), run
+   the leg, report the leg's own footprint growth.  The heap never
+   shrinks between compactions, so the post-run read is the leg's
+   high-water mark. *)
+let with_peak_words f =
+  Gc.compact ();
+  let base = (Gc.quick_stat ()).Gc.heap_words in
+  let r = f () in
+  (r, max 0 ((Gc.quick_stat ()).Gc.heap_words - base))
 
 let run_explore_scale ~quick ~budget ~checkpoint ~obs ~traced_policy ~kappa =
   let module Exp = Asyncolor_check.Explorer.Make (Asyncolor.Algorithm2.P) in
@@ -296,28 +326,29 @@ let run_explore_scale ~quick ~budget ~checkpoint ~obs ~traced_policy ~kappa =
         let time ~policy ~jobs ~leg_obs =
           let before = Obs.metrics leg_obs in
           let t0 = Oclock.monotonic () in
-          let r =
-            Exp.explore ~mode ~max_configs:cap ~jobs ~policy ?budget
-              ?checkpoint:ckpt ~obs:leg_obs graph ~idents
+          let r, peak =
+            with_peak_words (fun () ->
+                Exp.explore ~mode ~max_configs:cap ~jobs ~policy ?budget
+                  ?checkpoint:ckpt ~obs:leg_obs graph ~idents)
           in
           let dt = Int64.to_float (Int64.sub (Oclock.monotonic ()) t0) /. 1e9 in
           let after = Obs.metrics leg_obs in
           let d name = metric after name - metric before name in
           (r, dt, d "explorer.wait_ns", d "explorer.levels",
-           d "explorer.overlap_submits")
+           d "explorer.overlap_submits", peak)
         in
         let leg_obs leg =
           if not (Obs.enabled obs) then Obs.disabled
           else if leg = traced_policy then obs
           else Obs.create ()
         in
-        let r1, dt1, _, _, _ =
+        let r1, dt1, _, _, _, peak1 =
           time ~policy:Executor.Serial ~jobs:1 ~leg_obs:Obs.disabled
         in
-        let rs, dts, wait_s, levels, _ =
+        let rs, dts, wait_s, levels, _, _ =
           time ~policy:Executor.Synchronous ~jobs:4 ~leg_obs:(leg_obs "sync")
         in
-        let ra, dta, wait_a, _, overlap =
+        let ra, dta, wait_a, _, overlap, _ =
           time
             ~policy:(Executor.asynchronous ~kappa ~jobs:4 ())
             ~jobs:4 ~leg_obs:(leg_obs "async")
@@ -361,6 +392,12 @@ let run_explore_scale ~quick ~budget ~checkpoint ~obs ~traced_policy ~kappa =
           sr_sync_wait_ns = (if measured then Some wait_s else None);
           sr_async_wait_ns = (if measured then Some wait_a else None);
           sr_overlap_submits = (if measured then Some overlap else None);
+          sr_peak_live_words = peak1;
+          sr_orbit_ratio =
+            (match r1.orbit with
+            | Some o when r1.configs > 0 ->
+                float_of_int o.expanded_configs /. float_of_int r1.configs
+            | _ -> 1.0);
         })
       (explore_scale_instances ~quick)
   in
@@ -376,6 +413,229 @@ let run_explore_scale ~quick ~budget ~checkpoint ~obs ~traced_policy ~kappa =
        kappa
        (float_of_int wa /. float_of_int lv /. 1e6)
        (if wa < ws then "overlap wins" else "overlap did not pay off here"));
+  records
+
+(* --- symmetry-scale: dihedral orbit reduction + spill-to-disk --------- *)
+
+(* The instances the symmetry reduction is for: uniform identifiers make
+   the cycle maximally symmetric (full dihedral group, order 2n), which
+   is exactly where the unreduced explorer hits its memory ceiling first.
+   Quick keeps both legs completable in seconds for CI; full runs the
+   headline scale-up — the C7 full model and the n = 8 interleaved cycle,
+   each with a per-instance memory budget chosen so the unreduced leg
+   exceeds it while the reduced+spilled leg completes (the probe data
+   behind the budgets is in EXPERIMENTS.md).  [cap] is a config-count
+   safety net well above the reduced size. *)
+let symmetry_scale_instances ~quick =
+  let uniform = Idents.uniform ?ident:None in
+  let base =
+    [
+      ("C5/simultaneous/uniform", Builders.cycle 5, uniform 5, `All_subsets,
+       5_000_000, 512);
+      ("C6/interleaved/uniform", Builders.cycle 6, uniform 6, `Singletons,
+       5_000_000, 512);
+    ]
+  in
+  if quick then base
+  else
+    base
+    @ [
+        ("C7/simultaneous/uniform", Builders.cycle 7, uniform 7, `All_subsets,
+         20_000_000, 3_072);
+        ("C8/interleaved/uniform", Builders.cycle 8, uniform 8, `Singletons,
+         5_000_000, 256);
+      ]
+
+type sym_record = {
+  sy_name : string;
+  sy_n : int;
+  sy_budget_mb : int;
+  sy_group : int;
+  sy_off_configs : int;
+  sy_off_complete : bool;
+  sy_off_s : float;
+  sy_off_peak : int;
+  sy_on_configs : int;
+  sy_on_complete : bool;
+  sy_on_s : float;
+  sy_on_peak : int;
+  sy_spill_s : float;
+  sy_spill_peak : int;
+  sy_spill_bytes : int;
+  sy_spill_levels : int;
+  sy_expanded_configs : int;
+  sy_orbit_ratio : float;
+}
+
+let run_symmetry_scale ~quick ~budget ~mem_budget_mb ~spill_dir
+    ~spill_threshold_words ~obs ~kappa =
+  let module Exp = Asyncolor_check.Explorer.Make (Asyncolor.Algorithm2.P) in
+  print_endline
+    "\n\
+     === symmetry-scale: dihedral orbit reduction + spill (off / on / \
+     on+spill, mem-budgeted) ===";
+  let table =
+    Table.create
+      ~headers:
+        [
+          "instance"; "budget"; "off configs"; "off done"; "on configs";
+          "ratio"; "G"; "off peak Mw"; "on peak Mw"; "spill peak Mw";
+          "spilled";
+        ]
+  in
+  let records =
+    List.filter_map
+      (fun (name, graph, idents, mode, cap, default_mb) ->
+        (* Respect the section-wide wall budget: a slow runner skips the
+           remaining instances instead of tripping the CI job timeout. *)
+        match budget with
+        | Some b when Asyncolor_resilience.Budget.exceeded b ->
+            Printf.printf "%s: skipped (time budget exhausted)\n" name;
+            None
+        | _ ->
+            let n = Array.length idents in
+            let budget_mb = Option.value ~default:default_mb mem_budget_mb in
+            let leg ?spill ~symmetry ~jobs ~policy ~leg_obs () =
+              (* Fresh budget per leg (budgets are sticky; the point is
+                 comparing the legs under the SAME cap), measured as
+                 footprint growth over the leg's compacted baseline:
+                 Budget reads the absolute heap_words, and whatever
+                 fragmented footprint earlier legs could not return must
+                 not count against this one. *)
+              Gc.compact ();
+              let base = (Gc.quick_stat ()).Gc.heap_words in
+              let mem =
+                Asyncolor_resilience.Budget.create
+                  ~mem_words:
+                    (base
+                    + Asyncolor_resilience.Budget.mem_words_of_mb budget_mb)
+                  ()
+              in
+              let t0 = Oclock.monotonic () in
+              let r =
+                Exp.explore ~mode ~max_configs:cap ~jobs ~policy ~budget:mem
+                  ~symmetry ?spill ~obs:leg_obs graph ~idents
+              in
+              let dt =
+                Int64.to_float (Int64.sub (Oclock.monotonic ()) t0) /. 1e9
+              in
+              (r, dt, max 0 ((Gc.quick_stat ()).Gc.heap_words - base))
+            in
+            let r_off, dt_off, peak_off =
+              leg ~symmetry:false ~jobs:1 ~policy:Executor.Serial
+                ~leg_obs:Obs.disabled ()
+            in
+            let r_on, dt_on, peak_on =
+              leg ~symmetry:true ~jobs:1 ~policy:Executor.Serial
+                ~leg_obs:Obs.disabled ()
+            in
+            (* The spill leg runs the κ-overlapped pipeline so the
+               background spill task actually overlaps expansion, and it
+               owns the shared obs sink — its spans/counters are what the
+               --trace-out trace shows. *)
+            let spill_store =
+              (* one subdirectory per instance — '/'-separated instance
+                 names would otherwise all collapse to their last
+                 component and share level files *)
+              let sub = String.map (fun c -> if c = '/' then '-' else c) name in
+              Asyncolor_resilience.Spill.create
+                ~dir:(Filename.concat spill_dir sub)
+            in
+            let r_spill, dt_spill, peak_spill =
+              leg
+                ~spill:(spill_store, spill_threshold_words)
+                ~symmetry:true ~jobs:4
+                ~policy:(Executor.asynchronous ~kappa ~jobs:4 ())
+                ~leg_obs:obs ()
+            in
+            (* Soundness gates, not just measurements: a complete reduced
+               run must expand to the unreduced counts, spilling must not
+               change a field, and the reduction must actually deliver
+               (ratio >= n on these fully symmetric instances, strictly
+               fewer interned configs than the unreduced leg). *)
+            if r_on.complete && r_spill.complete && r_on <> r_spill then
+              failwith (name ^ ": spill changed the report (spill bug)");
+            let expanded, ratio =
+              match r_on.orbit with
+              | Some o when r_on.configs > 0 ->
+                  ( o.expanded_configs,
+                    float_of_int o.expanded_configs
+                    /. float_of_int r_on.configs )
+              | _ -> (0, 1.0)
+            in
+            let group =
+              match r_on.orbit with Some o -> o.group_order | None -> 1
+            in
+            if r_on.complete then begin
+              if ratio < float_of_int n then
+                failwith
+                  (Printf.sprintf
+                     "%s: orbit ratio %.2f < n=%d (reduction under-delivered)"
+                     name ratio n);
+              if r_off.complete then begin
+                if r_on.configs >= r_off.configs then
+                  failwith (name ^ ": symmetry-on did not reduce configs");
+                if expanded <> r_off.configs then
+                  failwith
+                    (Printf.sprintf
+                       "%s: orbit expansion %d <> unreduced configs %d \
+                        (quotient bug)"
+                       name expanded r_off.configs)
+              end
+            end;
+            Printf.printf
+              "symmetry reduction: %s %s -> %d configs (ratio %.1f, group \
+               %d, off %s under %d MB, on %s)\n"
+              name
+              (if r_off.complete then string_of_int r_off.configs
+               else Printf.sprintf "budget-exceeded@%d" r_off.configs)
+              r_on.configs ratio group
+              (if r_off.complete then "completed" else "truncated")
+              budget_mb
+              (if r_spill.complete then "completed" else "truncated");
+            Table.add_row table
+              [
+                name;
+                Printf.sprintf "%dMB" budget_mb;
+                string_of_int r_off.configs;
+                string_of_bool r_off.complete;
+                string_of_int r_on.configs;
+                Printf.sprintf "%.1f" ratio;
+                string_of_int group;
+                Printf.sprintf "%.0f" (float_of_int peak_off /. 1e6);
+                Printf.sprintf "%.0f" (float_of_int peak_on /. 1e6);
+                Printf.sprintf "%.0f" (float_of_int peak_spill /. 1e6);
+                Printf.sprintf "%.1fMB"
+                  (float_of_int
+                     (Asyncolor_resilience.Spill.bytes_written spill_store)
+                  /. 1048576.);
+              ];
+            Some
+              {
+                sy_name = name;
+                sy_n = n;
+                sy_budget_mb = budget_mb;
+                sy_group = group;
+                sy_off_configs = r_off.configs;
+                sy_off_complete = r_off.complete;
+                sy_off_s = dt_off;
+                sy_off_peak = peak_off;
+                sy_on_configs = r_on.configs;
+                sy_on_complete = r_on.complete;
+                sy_on_s = dt_on;
+                sy_on_peak = peak_on;
+                sy_spill_s = dt_spill;
+                sy_spill_peak = peak_spill;
+                sy_spill_bytes =
+                  Asyncolor_resilience.Spill.bytes_written spill_store;
+                sy_spill_levels =
+                  Asyncolor_resilience.Spill.levels_on_disk spill_store;
+                sy_expanded_configs = expanded;
+                sy_orbit_ratio = ratio;
+              })
+      (symmetry_scale_instances ~quick)
+  in
+  Table.print table;
   records
 
 (* Runs every benchmark, prints the timing table, and returns the raw
@@ -427,6 +687,7 @@ let () =
   let csv_dir = find_opt "--csv" in
   let json_path = find_opt "--json" in
   let scale_only = List.mem "--scale-only" argv in
+  let sym_full = List.mem "--sym-full" argv in
   let jobs =
     match find_opt "--jobs" with Some n -> int_of_string n | None -> 1
   in
@@ -450,6 +711,25 @@ let () =
     | None -> None
   in
   let checkpoint = find_opt "--checkpoint" in
+  let mem_budget_mb = Option.map int_of_string (find_opt "--mem-budget-mb") in
+  let spill_dir =
+    match find_opt "--spill-dir" with
+    | Some d -> d
+    | None ->
+        (* Default somewhere disposable: the spill files of a bench run
+           are a measurement by-product, not an artifact, unless CI asks
+           for them with an explicit --spill-dir. *)
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "asyncolor-bench-spill-%d" (Unix.getpid ()))
+  in
+  let spill_threshold_words =
+    match find_opt "--spill-threshold-mb" with
+    | Some mb -> int_of_string mb * 1024 * 1024 / 8
+    | None -> 131_072 (* 1 MB: small enough that every full leg spills *)
+  in
+  (if not (Sys.file_exists spill_dir) then
+     try Unix.mkdir spill_dir 0o755 with Unix.Unix_error _ -> ());
   let outcomes =
     if no_experiments || scale_only then []
     else begin
@@ -477,6 +757,13 @@ let () =
   let scale_records =
     if no_bench then []
     else run_explore_scale ~quick ~budget ~checkpoint ~obs ~traced_policy ~kappa
+  in
+  let sym_records =
+    if no_bench then []
+    else
+      run_symmetry_scale
+        ~quick:(quick && not sym_full)
+        ~budget ~mem_budget_mb ~spill_dir ~spill_threshold_words ~obs ~kappa
   in
   let bench_records =
     if no_bench || scale_only then [] else run_benchmarks ()
@@ -531,6 +818,31 @@ let () =
             ("sync_wait_per_level_ns", per_level r.sr_sync_wait_ns);
             ("async_wait_per_level_ns", per_level r.sr_async_wait_ns);
             ("overlap_submits", opt_ns r.sr_overlap_submits);
+            ("peak_live_words", J.Int r.sr_peak_live_words);
+            ("orbit_ratio", J.Float r.sr_orbit_ratio);
+          ]
+      in
+      let sym_json (r : sym_record) =
+        J.Obj
+          [
+            ("instance", J.String r.sy_name);
+            ("n", J.Int r.sy_n);
+            ("mem_budget_mb", J.Int r.sy_budget_mb);
+            ("group_order", J.Int r.sy_group);
+            ("configs_off", J.Int r.sy_off_configs);
+            ("complete_off", J.Bool r.sy_off_complete);
+            ("seconds_off", J.Float r.sy_off_s);
+            ("peak_live_words_off", J.Int r.sy_off_peak);
+            ("configs_on", J.Int r.sy_on_configs);
+            ("complete_on", J.Bool r.sy_on_complete);
+            ("seconds_on", J.Float r.sy_on_s);
+            ("peak_live_words_on", J.Int r.sy_on_peak);
+            ("seconds_on_spill", J.Float r.sy_spill_s);
+            ("peak_live_words_on_spill", J.Int r.sy_spill_peak);
+            ("spill_bytes_written", J.Int r.sy_spill_bytes);
+            ("spill_levels", J.Int r.sy_spill_levels);
+            ("expanded_configs", J.Int r.sy_expanded_configs);
+            ("orbit_ratio", J.Float r.sy_orbit_ratio);
           ]
       in
       (* The flat obs metrics ride along in the machine-readable record:
@@ -548,6 +860,7 @@ let () =
              ("exec_policy", J.String traced_policy);
              ("kappa", J.Float kappa);
              ("explore_scale", J.List (List.map scale_json scale_records));
+             ("symmetry_scale", J.List (List.map sym_json sym_records));
              ("benchmarks", J.List (List.map bench_json bench_records));
              ("obs_metrics", obs_metrics);
            ]);

@@ -290,6 +290,26 @@ let finish_obs obs ~trace_out ~metrics =
    monotonic clock so a suspended or ntp-stepped run can't go negative. *)
 let elapsed_s t0 = Int64.to_float (Int64.sub (Oclock.monotonic ()) t0) /. 1e9
 
+(* The spill-pressure companion of the configs/sec line: how much of the
+   run is frontier-resident on the heap vs spilled to disk, so a
+   budget-limited run can tell at a glance whether --spill-dir is doing
+   its job.  Diagnostics only — stderr, never part of the report. *)
+let memory_pressure_line ?spill () =
+  let mib w = float_of_int w /. (1024. *. 1024.) in
+  let heap_b = (Gc.quick_stat ()).Gc.heap_words * (Sys.word_size / 8) in
+  match spill with
+  | None ->
+      Printf.sprintf "memory: %.1f MiB frontier-resident, 0 B on disk"
+        (mib heap_b)
+  | Some (sp, _) ->
+      Printf.sprintf
+        "memory: %.1f MiB frontier-resident, %.1f MiB on disk (%d spill \
+         levels, %.1f MiB read back)"
+        (mib heap_b)
+        (mib (Asyncolor_resilience.Spill.bytes_written sp))
+        (Asyncolor_resilience.Spill.levels_on_disk sp)
+        (mib (Asyncolor_resilience.Spill.bytes_read sp))
+
 let run_cmd =
   let doc = "run one execution and print the colouring" in
   let f alg n seed idents_kind adv_kind graph_kind max_steps verbose =
@@ -419,8 +439,45 @@ let check_cmd =
              have been interned — a real crash, not an exception.  Combine \
              with $(b,--checkpoint) and restart with $(b,--resume).")
   in
+  let symmetry_arg =
+    Arg.(
+      value
+      & opt (enum [ ("on", true); ("off", false) ]) false
+      & info [ "symmetry" ] ~docv:"on|off"
+          ~doc:
+            "Quotient the exploration by the cycle's ident-preserving \
+             dihedral automorphisms: every configuration is canonicalized \
+             to the lexicographically least member of its orbit before \
+             interning, cutting the state space by up to 2n on symmetric \
+             identifier assignments.  Verdicts are unchanged; the report \
+             counts representatives and adds an orbit-expansion line.  \
+             Ignored on $(b,--resume) (recorded in the checkpoint).")
+  in
+  let spill_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spill-dir" ] ~docv:"DIR"
+          ~doc:
+            "Spill closed BFS levels of the adjacency stream to \
+             delta-encoded, checksummed files under DIR (created if \
+             missing), keeping the live heap to the frontier and the \
+             intern index.  Combine with $(b,--mem-budget-mb) to run \
+             instances whose full adjacency would not fit in memory.")
+  in
+  let spill_threshold_mb_arg =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "spill-threshold-mb" ] ~docv:"MB"
+          ~doc:
+            "Close and spill a level once the resident adjacency tail \
+             exceeds MB megabytes (0 spills at every merge boundary — \
+             only useful for exercising the spill path in tests).")
+  in
   let f alg idents mode max_configs jobs exec_policy kappa ckpt_path ckpt_every
-      resume time_s mem_mb kill_after trace_out metrics =
+      resume time_s mem_mb kill_after symmetry spill_dir spill_threshold_mb
+      trace_out metrics =
     let obs = make_obs ~trace_out ~metrics in
     let policy = make_policy ~policy:exec_policy ~kappa ~jobs in
     let idents = Array.of_list idents in
@@ -430,6 +487,14 @@ let check_cmd =
       failwith "too many identifiers for packed activation masks (n <= 62)";
     let checkpoint = Option.map (fun p -> (p, ckpt_every)) ckpt_path in
     let budget = make_budget ~time_s ~mem_mb in
+    let spill =
+      Option.map
+        (fun dir ->
+          (* MB -> machine words (8 bytes each on 64-bit). *)
+          ( Asyncolor_resilience.Spill.create ~dir,
+            spill_threshold_mb * 1024 * 1024 / 8 ))
+        spill_dir
+    in
     (* Polled by the explorer at expansion boundaries: a genuine SIGKILL
        for the crash-safety tests, then the signal-fed stop flag. *)
     let stop ~configs =
@@ -461,18 +526,20 @@ let check_cmd =
                   info.ri_configs info.ri_pending
                   (Graph.n info.ri_graph);
                 Exp.explore_resume ~jobs ?policy ?checkpoint ?budget ~stop
-                  ~check_outputs:(coloring_check info.ri_graph) ~obs path
+                  ?spill ~check_outputs:(coloring_check info.ri_graph) ~obs
+                  path
             | None ->
                 let graph = Builders.cycle n in
                 Exp.explore ~mode ~max_configs ~jobs ?policy ?checkpoint
-                  ?budget ~stop ~check_outputs:(coloring_check graph) ~obs
-                  graph ~idents)
+                  ?budget ~stop ~symmetry ?spill
+                  ~check_outputs:(coloring_check graph) ~obs graph ~idents)
       in
       let dt = elapsed_s t0 in
       Diag.printf "explored %d configs in %.3fs (%.0f configs/sec, jobs=%d)\n"
         r.configs dt
         (float_of_int r.configs /. Float.max dt 1e-9)
         jobs;
+      Diag.printf "%s\n" (memory_pressure_line ?spill ());
       finish_obs obs ~trace_out ~metrics;
       (match budget with
       | Some b when Budget.exceeded b ->
@@ -501,7 +568,8 @@ let check_cmd =
       const f $ alg_arg $ idents_csv $ mode_arg $ max_configs_arg $ jobs_arg
       $ exec_policy_arg $ kappa_arg $ checkpoint_arg $ checkpoint_every_arg
       $ resume_arg $ time_budget_arg $ mem_budget_arg $ kill_after_arg
-      $ trace_out_arg $ metrics_arg)
+      $ symmetry_arg $ spill_dir_arg $ spill_threshold_mb_arg $ trace_out_arg
+      $ metrics_arg)
 
 let lockhunt_cmd =
   let doc = "attack every adjacent pair with the isolate-pair schedule (finding F1)" in
@@ -531,6 +599,7 @@ let lockhunt_cmd =
         (List.length findings) dt
         (float_of_int (List.length findings) /. Float.max dt 1e-9)
         jobs;
+      Diag.printf "%s\n" (memory_pressure_line ());
       let nedges = List.length (Graph.edges graph) in
       if List.length findings < nedges then
         Printf.printf "hunt cut short: probed %d/%d pairs\n"

@@ -1,8 +1,10 @@
 module Vec = Asyncolor_util.Vec
 module Ring = Asyncolor_util.Ring
 module Executor = Asyncolor_util.Executor
+module Level_log = Asyncolor_util.Sharded_tbl.Level_log
 module Checkpoint = Asyncolor_resilience.Checkpoint
 module Budget = Asyncolor_resilience.Budget
+module Spill = Asyncolor_resilience.Spill
 module Diag = Asyncolor_resilience.Diag
 module Obs = Asyncolor_obs.Obs
 
@@ -19,8 +21,14 @@ type octx = {
   oc_ckpt_saves : Obs.Counter.t;
   oc_wait_ns : Obs.Counter.t;  (* ns the merge spent blocked on futures *)
   oc_overlap : Obs.Counter.t;  (* submissions past the current level *)
+  oc_orbit_hits : Obs.Counter.t;  (* successors remapped to a smaller orbit rep *)
+  oc_canon_ns : Obs.Counter.t;  (* ns spent canonicalizing *)
+  oc_spill_wb : Obs.Counter.t;  (* bytes written to spill files *)
+  oc_spill_rb : Obs.Counter.t;  (* bytes read back from spill files *)
   og_frontier : Obs.Gauge.t;  (* widest BFS frontier *)
   og_overlap : Obs.Gauge.t;  (* most cross-level expansions in flight *)
+  og_spill_levels : Obs.Gauge.t;  (* levels currently on disk *)
+  og_heap : Obs.Gauge.t;  (* peak live heap words sampled at merge boundaries *)
 }
 
 let make_octx o =
@@ -32,8 +40,14 @@ let make_octx o =
     oc_ckpt_saves = Obs.counter o "checkpoint.saves";
     oc_wait_ns = Obs.counter o "explorer.wait_ns";
     oc_overlap = Obs.counter o "explorer.overlap_submits";
+    oc_orbit_hits = Obs.counter o "explorer.orbit_hits";
+    oc_canon_ns = Obs.counter o "explorer.canon_ns";
+    oc_spill_wb = Obs.counter o "spill.bytes_written";
+    oc_spill_rb = Obs.counter o "spill.bytes_read";
     og_frontier = Obs.gauge o "explorer.frontier_max";
     og_overlap = Obs.gauge o "exec.kappa_overlap";
+    og_spill_levels = Obs.gauge o "spill.levels_on_disk";
+    og_heap = Obs.gauge o "explorer.peak_heap_words";
   }
 
 (* --- activation subsets: list form (reference) and packed form --------- *)
@@ -108,8 +122,25 @@ let masks_of mode unfinished =
             done;
             !mask)
 
+(* Shared across functor instances: experiments convert reports between
+   differently-instantiated explorers, and the orbit statistics carry no
+   protocol-specific type. *)
+type orbit_stats = {
+  group_order : int;
+  expanded_configs : int;
+  expanded_transitions : int;
+  expanded_terminal : int;
+}
+
 module Make (P : Asyncolor_kernel.Protocol.S) = struct
   module E = Asyncolor_kernel.Engine.Make (P)
+
+  module Tbl = Asyncolor_util.Sharded_tbl.Make (struct
+    type t = E.key
+
+    let equal = E.key_equal
+    let hash = E.key_hash
+  end)
 
   module CMap = Map.Make (struct
     type t = E.config
@@ -128,13 +159,89 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
     livelock : violation option;
     safety : violation list;
     worst_case_activations : int;
+    orbit : orbit_stats option;
   }
 
-  (* The packed configuration graph both builders produce: flat int arrays
-     only — dense ids, CSR adjacency of (mask, vid) pairs, parent pointers
-     as (pred id, activation mask).  The boxed configurations themselves
-     are not part of it; the parallel builder keeps only one frontier of
-     them alive at a time. *)
+  (* --- dihedral symmetry: ident-preserving automorphisms --------------- *)
+
+  (* The subgroup the quotient runs under: the graph's index-dihedral
+     automorphisms that also fix the identifier assignment pointwise —
+     [P.init ~ident] bakes idents into states, so only ident-preserving
+     permutations map reachable configurations to reachable ones.
+     Identity first (the head of [Graph.automorphisms]), deterministic
+     order throughout: the canonical representative below is a pure
+     function of the configuration, whichever domain computes it. *)
+  let symmetry_group ~symmetry graph ~idents =
+    if not symmetry then
+      [| Array.init (Asyncolor_topology.Graph.n graph) Fun.id |]
+    else
+      Asyncolor_topology.Graph.automorphisms graph
+      |> List.filter (fun sigma ->
+             let ok = ref true in
+             Array.iteri
+               (fun p sp -> if idents.(sp) <> idents.(p) then ok := false)
+               sigma;
+             !ok)
+      |> Array.of_list
+
+  (* [canonicalize group c] is the orbit-canonicalization at the heart of
+     the symmetry reduction: among the candidate keys
+     [q -> key_data (config_permute c sigma)] for every [sigma] in the
+     group — built by concatenating [c]'s per-process key segments in
+     permuted order, not by re-encoding — pick the lexicographically
+     least.  Returns [(key, representative, orbit size, winner index)]:
+     the representative is [config_permute c group.(winner)], whose
+     packed key is exactly the winning candidate (the engine's
+     segment-concatenation invariant), and the orbit size is the number
+     of distinct candidates — what the report's orbit-expansion
+     accounting sums.  With the trivial group this is [config_key] plus
+     four words. *)
+  let canonicalize group c =
+    if Array.length group = 1 then (E.config_key c, c, 1, 0)
+    else begin
+      let segs = E.config_key_segments c in
+      let n = Array.length segs in
+      let total = Array.fold_left (fun a s -> a + Array.length s) 0 segs in
+      let build sigma =
+        let out = Array.make total 0 in
+        let off = ref 0 in
+        for q = 0 to n - 1 do
+          let s = segs.(sigma.(q)) in
+          Array.blit s 0 out !off (Array.length s);
+          off := !off + Array.length s
+        done;
+        out
+      in
+      let cands = Array.map build group in
+      let best = ref 0 in
+      for i = 1 to Array.length cands - 1 do
+        if compare cands.(i) cands.(!best) < 0 then best := i
+      done;
+      let distinct = ref 0 in
+      Array.iteri
+        (fun i ci ->
+          let dup = ref false in
+          for j = 0 to i - 1 do
+            if (not !dup) && cands.(j) = ci then dup := true
+          done;
+          if not !dup then incr distinct)
+        cands;
+      let bi = !best in
+      let rep = if bi = 0 then c else E.config_permute c group.(bi) in
+      (E.key_of_data cands.(bi), rep, !distinct, bi)
+    end
+
+  (* The packed configuration graph both builders produce: flat int
+     stores only — dense ids, CSR adjacency, parent pointers as (pred id,
+     activation mask).  The boxed configurations themselves are not part
+     of it; the parallel builder keeps only one frontier of them alive at
+     a time.  Adjacency is accessed through [adj_get] so a spilled run
+     can reassemble it into off-heap storage: entries are
+     (mask, vid) pairs at [adj_stride = 2], or (mask, vid, perm) triples
+     at stride 3 under symmetry reduction, where [perm] indexes [group]
+     with the automorphism [sigma] such that the true successor is the
+     stored one permuted by [sigma] — the translation the worst-case DP
+     needs to stay exact on the quotient. *)
   type packed = {
     total : int;
     transitions : int;
@@ -142,8 +249,12 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
     complete : bool;
     parent_pred : int array;  (* -1 at the root *)
     parent_mask : int array;
-    adj_off : int array;  (* total + 1 offsets into adj_data *)
-    adj_data : int array;  (* (mask, vid) int pairs *)
+    adj_off : int array;  (* total + 1 offsets into the adjacency stream *)
+    adj_get : int -> int;  (* flattened adjacency stream *)
+    adj_stride : int;  (* 2, or 3 with per-edge automorphism indices *)
+    group : int array array;  (* symmetry group; singleton identity when off *)
+    expanded : (int * int * int) option;
+        (* orbit-expanded (configs, transitions, terminal) — symmetry only *)
     safety_raw : (string * int) list;  (* discovery order *)
   }
 
@@ -162,6 +273,8 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
      path), so the longest simple path of the configuration graph — which
      at K7 scale exceeds any native stack — costs heap words, not frames. *)
   let detect_livelock p =
+    let ad = p.adj_get in
+    let stride = p.adj_stride in
     let color = Bytes.make p.total '\000' in
     let finish = Vec.create ~capacity:1024 ~dummy:0 () in
     let livelock = ref None in
@@ -176,8 +289,8 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
       let u = Vec.get st_id depth in
       let cur = Vec.get st_cur depth in
       if cur < p.adj_off.(u + 1) then begin
-        Vec.set st_cur depth (cur + 2);
-        let mask = p.adj_data.(cur) and v = p.adj_data.(cur + 1) in
+        Vec.set st_cur depth (cur + stride);
+        let mask = ad cur and v = ad (cur + 1) in
         match Bytes.get color v with
         | '\000' ->
             Bytes.set color v '\001';
@@ -215,8 +328,21 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
 
   (* Exact worst case by longest-path DP over the DAG in topological order
      (the reversed finish order).  One flat [total * n] int table instead
-     of a row array per configuration. *)
+     of a row array per configuration.
+
+     Under symmetry reduction a quotient edge [u -(m, sigma)-> v] stands
+     for the original transitions [c -m'-> d] with [c] in [u]'s orbit;
+     position [q] of [v] holds the process that sat at position
+     [sigma.(q)] of the true successor of [u], i.e. of [u] itself.  The
+     recurrence therefore reads the predecessor row and the activation
+     mask at the {e translated} index [sigma.(q)] — without it the DP
+     double-counts whenever one process line enters a configuration whose
+     representative renames it (a two-process clique with equal idents
+     already exhibits the off-by-one). *)
   let exact_worst ~n p finish =
+    let ad = p.adj_get in
+    let stride = p.adj_stride in
+    let identity = p.group.(0) in
     let dp = Array.make (p.total * n) 0 in
     let best = ref 0 in
     for i = Vec.length finish - 1 downto 0 do
@@ -224,11 +350,13 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
       let bu = u * n in
       let e = ref p.adj_off.(u) in
       while !e < p.adj_off.(u + 1) do
-        let mask = p.adj_data.(!e) and v = p.adj_data.(!e + 1) in
+        let mask = ad !e and v = ad (!e + 1) in
+        let sigma = if stride = 2 then identity else p.group.(ad (!e + 2)) in
         let bv = v * n in
         for q = 0 to n - 1 do
-          let du = dp.(bu + q) in
-          if mask land (1 lsl q) <> 0 then begin
+          let qu = sigma.(q) in
+          let du = dp.(bu + qu) in
+          if mask land (1 lsl qu) <> 0 then begin
             let cand = du + 1 in
             if cand > dp.(bv + q) then begin
               dp.(bv + q) <- cand;
@@ -237,7 +365,7 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
           end
           else if du > dp.(bv + q) then dp.(bv + q) <- du
         done;
-        e := !e + 2
+        e := !e + stride
       done
     done;
     !best
@@ -266,6 +394,16 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
       livelock;
       safety;
       worst_case_activations = worst;
+      orbit =
+        Option.map
+          (fun (c, t, term) ->
+            {
+              group_order = Array.length p.group;
+              expanded_configs = c;
+              expanded_transitions = t;
+              expanded_terminal = term;
+            })
+          p.expanded;
     }
 
   (* --- the seed implementation: sequential BFS, Map interning ---------- *)
@@ -356,6 +494,7 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
         (subsets_of mode unfinished);
       Vec.push adj_off (Vec.length adj_data)
     done;
+    let adj = Vec.to_array adj_data in
     {
       total = !next_id;
       transitions = !transitions;
@@ -364,7 +503,10 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
       parent_pred = Vec.to_array parent_pred;
       parent_mask = Vec.to_array parent_mask;
       adj_off = Vec.to_array adj_off;
-      adj_data = Vec.to_array adj_data;
+      adj_get = Array.get adj;
+      adj_stride = 2;
+      group = [| Array.init (Asyncolor_topology.Graph.n graph) Fun.id |];
+      expanded = None;
       safety_raw = List.rev !safety;
     }
 
@@ -380,25 +522,36 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
     s_parent_pred : int Vec.t;
     s_parent_mask : int Vec.t;
     s_adj_off : int Vec.t;
-    s_adj_data : int Vec.t;
+    s_adj_data : Level_log.t;
+        (* the adjacency stream — the one store whose closed prefix can
+           leave the heap (see [Level_log]); offsets in [s_adj_off] are
+           absolute stream positions, so spilling never renumbers *)
+    s_orbit : int Vec.t;  (* orbit size per dense id; empty when symmetry off *)
     mutable s_next_id : int;
     mutable s_transitions : int;
     mutable s_terminal : int;
+    mutable s_exp_configs : int;  (* orbit-expanded counts; symmetry only *)
+    mutable s_exp_transitions : int;
+    mutable s_exp_terminal : int;
     mutable s_safety_rev : (string * int) list;  (* reverse discovery order *)
     mutable s_n_safety : int;
     mutable s_complete : bool;
   }
 
-  let fresh_state () =
+  let fresh_state ?spill_threshold () =
     let st =
       {
         s_parent_pred = Vec.create ~capacity:1024 ~dummy:(-1) ();
         s_parent_mask = Vec.create ~capacity:1024 ~dummy:0 ();
         s_adj_off = Vec.create ~capacity:1024 ~dummy:0 ();
-        s_adj_data = Vec.create ~capacity:4096 ~dummy:0 ();
+        s_adj_data = Level_log.create ?threshold_words:spill_threshold ();
+        s_orbit = Vec.create ~capacity:1024 ~dummy:1 ();
         s_next_id = 0;
         s_transitions = 0;
         s_terminal = 0;
+        s_exp_configs = 0;
+        s_exp_transitions = 0;
+        s_exp_terminal = 0;
         s_safety_rev = [];
         s_n_safety = 0;
         s_complete = true;
@@ -406,19 +559,6 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
     in
     Vec.push st.s_adj_off 0;
     st
-
-  let packed_of_state st =
-    {
-      total = st.s_next_id;
-      transitions = st.s_transitions;
-      terminal = st.s_terminal;
-      complete = st.s_complete;
-      parent_pred = Vec.to_array st.s_parent_pred;
-      parent_mask = Vec.to_array st.s_parent_mask;
-      adj_off = Vec.to_array st.s_adj_off;
-      adj_data = Vec.to_array st.s_adj_data;
-      safety_raw = List.rev st.s_safety_rev;
-    }
 
   (* Exploration parameters threaded through both packed builders. *)
   type params = {
@@ -430,17 +570,68 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
     checkpoint : (string * int) option;
     budget : Budget.t option;
     stop : (configs:int -> bool) option;
+    symmetry : bool;
+    group : int array array;  (* singleton identity when symmetry off *)
+    spill : (Spill.t * int) option;  (* store, threshold in words *)
     octx : octx;
   }
 
-  let register_st ~octx st config =
+  let spill_fetch ~params ~level =
+    match params.spill with
+    | None -> assert false  (* nothing ever seals without a threshold *)
+    | Some (sp, _) ->
+        let before = Spill.bytes_read sp in
+        let data = Spill.read sp ~level in
+        Obs.Counter.add params.octx.oc_spill_rb (Spill.bytes_read sp - before);
+        data
+
+  let packed_of_state ~params st =
+    let fetch = spill_fetch ~params in
+    let adj_get =
+      match params.spill with
+      | None ->
+          let a = Level_log.to_array ~fetch st.s_adj_data in
+          Array.get a
+      | Some _ ->
+          (* Off-heap reassembly: the analyses of a spilled run walk the
+             stream through a bigarray the GC neither scans nor counts,
+             so the peak-live-heap win of spilling survives the analysis
+             phase. *)
+          let ba = Level_log.to_bigarray ~fetch st.s_adj_data in
+          fun i -> ba.{i}
+    in
+    {
+      total = st.s_next_id;
+      transitions = st.s_transitions;
+      terminal = st.s_terminal;
+      complete = st.s_complete;
+      parent_pred = Vec.to_array st.s_parent_pred;
+      parent_mask = Vec.to_array st.s_parent_mask;
+      adj_off = Vec.to_array st.s_adj_off;
+      adj_get;
+      adj_stride = (if params.symmetry then 3 else 2);
+      group = params.group;
+      expanded =
+        (if params.symmetry then
+           Some (st.s_exp_configs, st.s_exp_transitions, st.s_exp_terminal)
+         else None);
+      safety_raw = List.rev st.s_safety_rev;
+    }
+
+  let register_st ~params st config ~orbit =
     let id = st.s_next_id in
     st.s_next_id <- id + 1;
-    Obs.Counter.incr octx.oc_configs;
+    Obs.Counter.incr params.octx.oc_configs;
     Vec.push st.s_parent_pred (-1);
     Vec.push st.s_parent_mask 0;
-    if E.config_unfinished_mask config = 0 then
+    if params.symmetry then begin
+      Vec.push st.s_orbit orbit;
+      st.s_exp_configs <- st.s_exp_configs + orbit
+    end;
+    if E.config_unfinished_mask config = 0 then begin
       st.s_terminal <- st.s_terminal + 1;
+      if params.symmetry then st.s_exp_terminal <- st.s_exp_terminal + orbit
+    end;
     id
 
   (* Runs the safety predicates; the engine must currently hold [config]
@@ -498,13 +689,23 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
     ck_adj_off : int array;
     ck_adj_data : int array;
     ck_safety_rev : (string * int) list;
+    ck_symmetry : bool;
+    ck_orbit : int array;  (* orbit size by dense id; [||] when symmetry off *)
+    ck_expanded : int * int * int;
+        (* orbit-expanded (configs, transitions, terminal) so far *)
     ck_keys : int array array;  (* packed key payloads, indexed by dense id *)
     ck_pending : (int * E.config) array;  (* FIFO order *)
   }
 
   (* Bump whenever the [ckpt] record or the engine's key packing changes
-     shape — [Checkpoint.load] rejects other versions up front. *)
-  let ckpt_version = 1
+     shape — [Checkpoint.load] rejects other versions up front.
+     v2: symmetry fields (ck_symmetry/ck_orbit/ck_expanded) and the
+     stride-3 adjacency encoding under symmetry.  The adjacency stream is
+     persisted in full even on a spilled run (reassembled transiently at
+     save time), so a checkpoint stays a single self-contained file and
+     resuming needs no spill directory — the resumed run re-spills as its
+     own levels close. *)
+  let ckpt_version = 2
 
   let save_ckpt ~params ~graph ~idents st ~keys ~pending path =
     Obs.Counter.incr params.octx.oc_ckpt_saves;
@@ -527,15 +728,18 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
         ck_parent_pred = Vec.to_array st.s_parent_pred;
         ck_parent_mask = Vec.to_array st.s_parent_mask;
         ck_adj_off = Vec.to_array st.s_adj_off;
-        ck_adj_data = Vec.to_array st.s_adj_data;
+        ck_adj_data = Level_log.to_array ~fetch:(spill_fetch ~params) st.s_adj_data;
         ck_safety_rev = st.s_safety_rev;
+        ck_symmetry = params.symmetry;
+        ck_orbit = Vec.to_array st.s_orbit;
+        ck_expanded = (st.s_exp_configs, st.s_exp_transitions, st.s_exp_terminal);
         ck_keys = keys ();
         ck_pending = pending ();
       }
 
   let keys_of_key_tbl tbl n =
     let a = Array.make n [||] in
-    E.Key_tbl.iter (fun k id -> a.(id) <- E.key_data k) tbl;
+    Tbl.iter (fun k id -> a.(id) <- E.key_data k) tbl;
     a
 
   (* --- packed sequential BFS: the jobs=1 fast path --------------------- *)
@@ -555,9 +759,36 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
      exactly like the [max_configs] cap: pending configurations that still
      have working processes mark the exploration incomplete, and every
      unexpanded entry keeps an empty adjacency row. *)
+  (* Close the adjacency tail as a spill level if it crossed the
+     threshold; [persist] runs the actual write (inline here, possibly a
+     background executor task in the pipelined builder).  Called only at
+     entry boundaries, where every pushed word is final. *)
+  let maybe_seal ~params st persist =
+    match params.spill with
+    | None -> ()
+    | Some _ -> (
+        match Level_log.seal st.s_adj_data with
+        | None -> ()
+        | Some (level, data) -> persist level data)
+
+  let spill_write ~params sp level data =
+    let bytes = Spill.write sp ~level data in
+    Obs.Counter.add params.octx.oc_spill_wb bytes;
+    Obs.Gauge.max_ params.octx.og_spill_levels (Spill.levels_on_disk sp)
+
+  (* Live-heap high-water mark, sampled every 1024 merge boundaries (and
+     once at the end of the run) — the number the bench's
+     [peak_live_words] field and the CLI's spill-pressure diagnostics
+     read back.  [Gc.quick_stat] reads cached GC state, no heap walk. *)
+  let sample_heap ~params ticks =
+    incr ticks;
+    if !ticks land 1023 = 0 && Obs.enabled params.octx.o then
+      Obs.Gauge.max_ params.octx.og_heap (Gc.quick_stat ()).Gc.heap_words
+
   let run_seq ~params ~graph ~idents st tbl queue =
     let engine = E.create graph ~idents in
     let last_ck = ref st.s_next_id in
+    let ticks = ref 0 in
     let maybe_checkpoint ~force () =
       match params.checkpoint with
       | Some (path, every) when force || st.s_next_id - !last_ck >= max 1 every
@@ -577,6 +808,9 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
       if should_stop ~params st then stopped := true
       else begin
         let uid, config = Queue.pop queue in
+        let orbit_u =
+          if params.symmetry then Vec.get st.s_orbit uid else 1
+        in
         let um = E.config_unfinished_mask config in
         let masks = if um = 0 then [||] else masks_of params.mode um in
         Array.iter
@@ -585,29 +819,43 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
               E.restore engine config;
               E.activate_mask engine mask;
               let succ = E.snapshot engine in
-              let key = E.config_key succ in
+              let t0 = if params.symmetry then Obs.now params.octx.o else 0L in
+              let key, rep, orbit, pi = canonicalize params.group succ in
+              if params.symmetry then begin
+                Obs.Counter.add params.octx.oc_canon_ns
+                  (Int64.to_int (Int64.sub (Obs.now params.octx.o) t0));
+                if pi <> 0 then Obs.Counter.incr params.octx.oc_orbit_hits;
+                st.s_exp_transitions <- st.s_exp_transitions + orbit_u
+              end;
               st.s_transitions <- st.s_transitions + 1;
               Obs.Counter.incr params.octx.oc_transitions;
               let vid, fresh =
-                match E.Key_tbl.find_opt tbl key with
+                match Tbl.find_opt tbl key with
                 | Some id -> (id, false)
                 | None ->
-                    let id = register_st ~octx:params.octx st succ in
-                    Queue.add (id, succ) queue;
-                    E.Key_tbl.add tbl key id;
+                    let id = register_st ~params st rep ~orbit in
+                    Queue.add (id, rep) queue;
+                    Tbl.add tbl key id;
                     (id, true)
               in
-              Vec.push st.s_adj_data mask;
-              Vec.push st.s_adj_data vid;
+              Level_log.push st.s_adj_data mask;
+              Level_log.push st.s_adj_data vid;
+              if params.symmetry then Level_log.push st.s_adj_data pi;
               if fresh then begin
                 Vec.set st.s_parent_pred vid uid;
                 Vec.set st.s_parent_mask vid mask;
-                safety_check ~params st engine vid succ
+                if pi <> 0 then E.restore engine rep;
+                safety_check ~params st engine vid rep
               end
             end
             else st.s_complete <- false)
           masks;
-        Vec.push st.s_adj_off (Vec.length st.s_adj_data)
+        Vec.push st.s_adj_off (Level_log.length st.s_adj_data);
+        maybe_seal ~params st (fun level data ->
+            match params.spill with
+            | Some (sp, _) -> spill_write ~params sp level data
+            | None -> ());
+        sample_heap ~params ticks
       end
     done;
     if !stopped then begin
@@ -617,20 +865,27 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
           if E.config_unfinished_mask c <> 0 then st.s_complete <- false)
         queue;
       Queue.iter
-        (fun _ -> Vec.push st.s_adj_off (Vec.length st.s_adj_data))
+        (fun _ -> Vec.push st.s_adj_off (Level_log.length st.s_adj_data))
         queue
     end;
-    packed_of_state st
+    packed_of_state ~params st
+
+  let spill_threshold_of params = Option.map snd params.spill
 
   let explore_seq ~params graph ~idents =
-    let st = fresh_state () in
-    let tbl = E.Key_tbl.create 1024 in
+    let st = fresh_state ?spill_threshold:(spill_threshold_of params) () in
+    let tbl = Tbl.create ~shards:16 1024 in
     let queue = Queue.create () in
     let engine = E.create graph ~idents in
     let initial = E.snapshot engine in
-    let root_id = register_st ~octx:params.octx st initial in
+    (* The all-asleep root is fixed by every ident-preserving
+       automorphism (orbit size 1), so canonicalizing it is a no-op — but
+       going through [canonicalize] keeps the invariant that every
+       interned key is canonical without a special case. *)
+    let key, initial, orbit, _ = canonicalize params.group initial in
+    let root_id = register_st ~params st initial ~orbit in
     Queue.add (root_id, initial) queue;
-    E.Key_tbl.add tbl (E.config_key initial) root_id;
+    Tbl.add tbl key root_id;
     safety_check ~params st engine root_id initial;
     run_seq ~params ~graph ~idents st tbl queue
 
@@ -701,15 +956,34 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
             E.restore eng config;
             E.activate_mask eng mask;
             let succ = E.snapshot eng in
-            (mask, E.config_key succ, succ))
+            (* Canonicalization runs inside the expansion task — on
+               whichever domain stole it — which is safe because it is a
+               pure function of the successor: the merge below sees the
+               same (key, rep, orbit, perm) whatever the schedule. *)
+            let t0 = if params.symmetry then Obs.now params.octx.o else 0L in
+            let key, rep, orbit, pi = canonicalize params.group succ in
+            if params.symmetry then
+              Obs.Counter.add params.octx.oc_canon_ns
+                (Int64.to_int (Int64.sub (Obs.now params.octx.o) t0));
+            (mask, key, rep, orbit, pi))
           (masks_of params.mode um)
       end
     in
+    (* In-flight background spill writes: drained before any checkpoint
+       save (which rereads closed levels) and before the final analysis
+       reassembly. *)
+    let spill_futs : unit Executor.future list ref = ref [] in
+    let drain_spills () =
+      List.iter Executor.await !spill_futs;
+      spill_futs := []
+    in
     let last_ck = ref st.s_next_id in
+    let ticks = ref 0 in
     let maybe_checkpoint ~force () =
       match params.checkpoint with
       | Some (path, every) when force || st.s_next_id - !last_ck >= max 1 every
         ->
+          drain_spills ();
           save_ckpt ~params ~graph ~idents st
             ~keys:(fun () -> keys_of_key_tbl tbl st.s_next_id)
             ~pending:(fun () ->
@@ -726,7 +1000,9 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
     let kappa = Executor.policy_kappa (Executor.policy exec) in
     (* Futures for submitted-but-unmerged entries, same absolute
        positions as [pend]. *)
-    let futs : (int * E.key * E.config) array Executor.future option Ring.t =
+    let futs :
+        (int * E.key * E.config * int * int) array Executor.future option
+        Ring.t =
       Ring.create ~start:(Ring.lo pend) ~dummy:None ()
     in
     let submit_pos = ref (Ring.lo pend) in
@@ -796,6 +1072,9 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
            stream.  The id-assignment below is the [run_seq] body,
            verbatim, over the precomputed candidates. *)
         let uid = merge_pos in
+        let orbit_u =
+          if params.symmetry then Vec.get st.s_orbit uid else 1
+        in
         let fut =
           match Ring.get futs uid with Some f -> f | None -> assert false
         in
@@ -805,30 +1084,49 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
           (Int64.to_int (Int64.sub (Obs.now o) t0));
         Ring.drop futs;
         Array.iter
-          (fun (mask, key, succ) ->
+          (fun (mask, key, rep, orbit, pi) ->
             if st.s_next_id < params.max_configs then begin
               st.s_transitions <- st.s_transitions + 1;
               Obs.Counter.incr octx.oc_transitions;
+              if params.symmetry then begin
+                if pi <> 0 then Obs.Counter.incr octx.oc_orbit_hits;
+                st.s_exp_transitions <- st.s_exp_transitions + orbit_u
+              end;
               let vid, fresh =
-                match E.Key_tbl.find_opt tbl key with
+                match Tbl.find_opt tbl key with
                 | Some id -> (id, false)
                 | None ->
-                    let id = register_st ~octx st succ in
-                    Ring.push pend succ;
-                    E.Key_tbl.add tbl key id;
+                    let id = register_st ~params st rep ~orbit in
+                    Ring.push pend rep;
+                    Tbl.add tbl key id;
                     (id, true)
               in
-              Vec.push st.s_adj_data mask;
-              Vec.push st.s_adj_data vid;
+              Level_log.push st.s_adj_data mask;
+              Level_log.push st.s_adj_data vid;
+              if params.symmetry then Level_log.push st.s_adj_data pi;
               if fresh then begin
                 Vec.set st.s_parent_pred vid uid;
                 Vec.set st.s_parent_mask vid mask;
-                check vid succ
+                check vid rep
               end
             end
             else st.s_complete <- false)
           cands;
-        Vec.push st.s_adj_off (Vec.length st.s_adj_data);
+        Vec.push st.s_adj_off (Level_log.length st.s_adj_data);
+        (* Closed spill levels drain on a background task while the
+           pipeline keeps expanding: the snapshot handed over by [seal]
+           is immutable, and level files are distinct, so the only
+           ordering that matters — written-before-reread — is enforced by
+           [drain_spills] at the checkpoint and analysis boundaries. *)
+        maybe_seal ~params st (fun level data ->
+            match params.spill with
+            | Some (sp, _) ->
+                spill_futs :=
+                  Executor.submit exec (fun () ->
+                      spill_write ~params sp level data)
+                  :: !spill_futs
+            | None -> ());
+        sample_heap ~params ticks;
         Ring.drop pend
       end
     done;
@@ -844,18 +1142,20 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
           st.s_complete <- false
       done;
       for _ = Ring.lo pend to Ring.hi pend - 1 do
-        Vec.push st.s_adj_off (Vec.length st.s_adj_data)
+        Vec.push st.s_adj_off (Level_log.length st.s_adj_data)
       done
     end;
-    packed_of_state st
+    drain_spills ();
+    packed_of_state ~params st
 
   let explore_async ~params ~policy ~jobs graph ~idents =
-    let st = fresh_state () in
-    let tbl = E.Key_tbl.create 1024 in
+    let st = fresh_state ?spill_threshold:(spill_threshold_of params) () in
+    let tbl = Tbl.create ~shards:16 1024 in
     let engine = E.create graph ~idents in
     let initial = E.snapshot engine in
-    let root_id = register_st ~octx:params.octx st initial in
-    E.Key_tbl.add tbl (E.config_key initial) root_id;
+    let key, initial, orbit, _ = canonicalize params.group initial in
+    let root_id = register_st ~params st initial ~orbit in
+    Tbl.add tbl key root_id;
     safety_check ~params st engine root_id initial;
     let pend = Ring.create ~dummy:initial () in
     Ring.push pend initial;
@@ -864,8 +1164,8 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
 
   let explore ?(max_configs = 500_000) ?(max_violations = 5)
       ?(mode = `All_subsets) ?(impl = `Hashcons) ?(jobs = 1) ?policy
-      ?checkpoint ?budget ?stop ?check_outputs ?check_config
-      ?(obs = Obs.disabled) graph ~idents =
+      ?checkpoint ?budget ?stop ?(symmetry = false) ?spill ?check_outputs
+      ?check_config ?(obs = Obs.disabled) graph ~idents =
     let n = Asyncolor_topology.Graph.n graph in
     if n > Sys.int_size - 1 then
       invalid_arg "Explorer.explore: packed activation masks need n <= 62";
@@ -876,12 +1176,13 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
       | `Reference ->
           if
             Option.is_some checkpoint || Option.is_some budget
-            || Option.is_some stop || Option.is_some policy
+            || Option.is_some stop || Option.is_some policy || symmetry
+            || Option.is_some spill
           then
             invalid_arg
               "Explorer.explore: the `Reference oracle supports neither \
-               checkpoints, budgets, stop callbacks nor execution policies \
-               (use `Hashcons)";
+               checkpoints, budgets, stop callbacks, execution policies, \
+               symmetry reduction nor spilling (use `Hashcons)";
           explore_reference ~max_configs ~max_violations ~mode ~check_outputs
             ~check_config graph ~idents
       | `Hashcons ->
@@ -895,6 +1196,9 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
               checkpoint;
               budget;
               stop;
+              symmetry;
+              group = symmetry_group ~symmetry graph ~idents;
+              spill;
               octx;
             }
           in
@@ -943,21 +1247,26 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
       ri_pending = Array.length c.ck_pending;
     }
 
-  let state_of_ckpt c =
+  let state_of_ckpt ?spill_threshold c =
+    let exp_c, exp_t, exp_term = c.ck_expanded in
     {
       s_parent_pred = Vec.of_array ~dummy:(-1) c.ck_parent_pred;
       s_parent_mask = Vec.of_array ~dummy:0 c.ck_parent_mask;
       s_adj_off = Vec.of_array ~dummy:0 c.ck_adj_off;
-      s_adj_data = Vec.of_array ~dummy:0 c.ck_adj_data;
+      s_adj_data = Level_log.of_array ?threshold_words:spill_threshold c.ck_adj_data;
+      s_orbit = Vec.of_array ~dummy:1 c.ck_orbit;
       s_next_id = c.ck_next_id;
       s_transitions = c.ck_transitions;
       s_terminal = c.ck_terminal;
+      s_exp_configs = exp_c;
+      s_exp_transitions = exp_t;
+      s_exp_terminal = exp_term;
       s_safety_rev = c.ck_safety_rev;
       s_n_safety = List.length c.ck_safety_rev;
       s_complete = c.ck_complete;
     }
 
-  let explore_resume ?(jobs = 1) ?policy ?checkpoint ?budget ?stop
+  let explore_resume ?(jobs = 1) ?policy ?checkpoint ?budget ?stop ?spill
       ?check_outputs ?check_config ?(obs = Obs.disabled) path =
     let octx = make_octx obs in
     let c = Obs.span obs "checkpoint.load" (fun () -> load_ckpt path) in
@@ -973,13 +1282,19 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
         checkpoint;
         budget;
         stop;
+        (* Symmetry is the checkpoint's property, not the caller's: the
+           persisted adjacency stride and orbit accounts depend on it, so
+           a resumed run always continues under the recorded setting. *)
+        symmetry = c.ck_symmetry;
+        group = symmetry_group ~symmetry:c.ck_symmetry graph ~idents;
+        spill;
         octx;
       }
     in
-    let st = state_of_ckpt c in
-    let tbl = E.Key_tbl.create (max 1024 (2 * c.ck_next_id)) in
+    let st = state_of_ckpt ?spill_threshold:(Option.map snd spill) c in
+    let tbl = Tbl.create ~shards:16 (max 1024 (2 * c.ck_next_id)) in
     Array.iteri
-      (fun id kdata -> E.Key_tbl.add tbl (E.key_of_data kdata) id)
+      (fun id kdata -> Tbl.add tbl (E.key_of_data kdata) id)
       c.ck_keys;
     let policy =
       match policy with
@@ -1014,9 +1329,18 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
   let pp_report ppf r =
     Format.fprintf ppf
       "@[<v>configs=%d transitions=%d terminal=%d complete=%b wait_free=%b \
-       worst_activations=%d safety_violations=%d%a@]"
+       worst_activations=%d safety_violations=%d%a%a@]"
       r.configs r.transitions r.terminal_configs r.complete r.wait_free
       r.worst_case_activations (List.length r.safety)
+      (fun ppf -> function
+        | None -> ()
+        | Some s ->
+            Format.fprintf ppf
+              "@,orbit: group=%d expanded_configs=%d expanded_transitions=%d \
+               expanded_terminal=%d"
+              s.group_order s.expanded_configs s.expanded_transitions
+              s.expanded_terminal)
+      r.orbit
       (fun ppf -> function
         | None -> ()
         | Some v -> Format.fprintf ppf "@,livelock: %s" v.message)

@@ -55,6 +55,17 @@ val subset_of_mask : int -> int list
 val mask_of_subset : int list -> int
 (** Bitmask with the listed bits set. *)
 
+type orbit_stats = {
+  group_order : int;  (** ident-preserving automorphisms used *)
+  expanded_configs : int;
+      (** sum of orbit sizes over interned representatives — equals the
+          unreduced explorer's [configs] on complete runs *)
+  expanded_transitions : int;  (** likewise for [transitions] *)
+  expanded_terminal : int;  (** likewise for [terminal_configs] *)
+}
+(** Orbit accounting of a symmetry-reduced run.  Shared across functor
+    instances (like the report conversions the experiments do). *)
+
 module Make (P : Asyncolor_kernel.Protocol.S) : sig
   module E : module type of Asyncolor_kernel.Engine.Make (P)
 
@@ -79,7 +90,38 @@ module Make (P : Asyncolor_kernel.Protocol.S) : sig
             explored subgraph would silently under-report the true worst
             case.  Always check {!complete} (and {!wait_free}) before
             quoting this number. *)
+    orbit : orbit_stats option;
+        (** [Some] iff the run was symmetry-reduced; the orbit-expanded
+            counts a differential test compares against an unreduced run.
+            [None] keeps symmetry-off reports (and their printed form)
+            byte-identical to previous releases. *)
   }
+
+  val symmetry_group :
+    symmetry:bool ->
+    Asyncolor_topology.Graph.t ->
+    idents:int array ->
+    int array array
+  (** The automorphisms the quotient runs under: the graph's
+      index-dihedral automorphisms ({!Asyncolor_topology.Graph.automorphisms})
+      that fix the identifier assignment pointwise, identity first.  With
+      [symmetry:false] (or pairwise-distinct idents) just the identity —
+      the explorer's symmetry-off path literally runs the same code with
+      a trivial group.  Exposed for the canonicalization property tests. *)
+
+  val canonicalize : int array array -> E.config -> E.key * E.config * int * int
+  (** [canonicalize group c] is the orbit canonicalization on the intern
+      path: the lexicographically-least packed key among
+      [E.config_key (E.config_permute c sigma)] over the group, computed
+      by concatenating [c]'s per-process key segments in permuted order.
+      Returns [(key, representative, orbit_size, winner_index)] with
+      [key = E.config_key representative],
+      [representative = E.config_permute c group.(winner_index)], and
+      [orbit_size] the number of distinct candidate keys.  A pure
+      function of [(group, c)] — the determinism guarantee hangs on
+      that, and the property tests pin it down
+      ([canonicalize] is invariant under permuting [c] by any group
+      element, and idempotent on representatives). *)
 
   val explore :
     ?max_configs:int ->
@@ -91,6 +133,8 @@ module Make (P : Asyncolor_kernel.Protocol.S) : sig
     ?checkpoint:string * int ->
     ?budget:Asyncolor_resilience.Budget.t ->
     ?stop:(configs:int -> bool) ->
+    ?symmetry:bool ->
+    ?spill:Asyncolor_resilience.Spill.t * int ->
     ?check_outputs:(P.output option array -> string option) ->
     ?check_config:(E.t -> string option) ->
     ?obs:Asyncolor_obs.Obs.t ->
@@ -158,6 +202,42 @@ module Make (P : Asyncolor_kernel.Protocol.S) : sig
       (unless every pending configuration was terminal anyway) — exactly
       the [max_configs] contract.
 
+      {b Symmetry reduction} ([symmetry], default [false]; [`Hashcons]
+      only).  Every successor is mapped to the lexicographically-least
+      packed key of its orbit under the graph's ident-preserving
+      index-dihedral automorphisms
+      ({!Asyncolor_topology.Graph.automorphisms} filtered by
+      [idents.(sigma p) = idents.(p)]) before interning, so each orbit is
+      explored once — an up-to-[2n] state-space cut on cycles and cliques
+      with symmetric identifier assignments (with {e distinct} idents the
+      group is trivial and the run coincides with symmetry-off).  The
+      quotient is a bisimulation up to permutation (see DESIGN.md):
+      wait-freedom, livelock existence, safety of G-invariant predicates
+      and — via per-edge automorphism tracking in the packed adjacency —
+      the exact worst case are all preserved; [report.configs/transitions/
+      terminal_configs] count {e representatives}, with the orbit-expanded
+      totals in {!report.orbit}.  Caveats: user predicates must be
+      G-invariant (proper colouring and palette checks are); violation and
+      lasso schedules are witnesses {e up to automorphism} — each step's
+      activation set is stated in the coordinates of that step's stored
+      representative, so they replay the quotient, not a literal engine
+      execution.  The canonical representative is a pure function of the
+      successor, so the deterministic-output guarantee above is unchanged.
+
+      {b Spilling} ([spill:(store, threshold_words)]; [`Hashcons] only).
+      The adjacency stream of merged configurations — the dominant
+      allocation of a full-model run, 2–3 words per transition, never read
+      again until the post-BFS analyses — is closed into levels of
+      [threshold_words] at merge boundaries and written through
+      {!Asyncolor_resilience.Spill} (delta-encoded, checksummed
+      {!Asyncolor_resilience.Checkpoint} containers), leaving the live
+      heap to the frontier, the canonical-key index and the per-config
+      arrays.  Under a parallel policy the write runs as a background
+      executor task while the pipeline keeps expanding.  The analyses
+      reassemble the stream into an off-heap bigarray, so the peak-heap
+      saving survives the analysis phase.  Spilling never changes any
+      report field — only where bytes live.
+
       {b Observability} ([obs], default {!Asyncolor_obs.Obs.disabled}).
       The run is traced out-of-band — never through stdout, so the
       deterministic-output guarantee is untouched: the report is
@@ -175,7 +255,14 @@ module Make (P : Asyncolor_kernel.Protocol.S) : sig
       spent blocked on the head expansion future — the barrier-wait the
       κ overlap removes), ["explorer.overlap_submits"] (expansions
       submitted past the current level boundary), and the
-      ["explorer.frontier_max"] / ["exec.kappa_overlap"] gauges.  The
+      ["explorer.frontier_max"] / ["exec.kappa_overlap"] gauges.
+      Symmetry adds ["explorer.orbit_hits"] (successors whose canonical
+      representative differed from the raw successor) and
+      ["explorer.canon_ns"]; spilling adds ["spill.bytes_written"] /
+      ["spill.bytes_read"] and the ["spill.levels_on_disk"] gauge; and
+      ["explorer.peak_heap_words"] tracks the live-heap high-water mark
+      sampled at merge boundaries — the number the bench's
+      [peak_live_words] field reports.  The
       [`Reference] oracle is deliberately uninstrumented — its counters
       stay 0 — so differential tests compare protocol behaviour, not
       plumbing.
@@ -220,6 +307,7 @@ module Make (P : Asyncolor_kernel.Protocol.S) : sig
     ?checkpoint:string * int ->
     ?budget:Asyncolor_resilience.Budget.t ->
     ?stop:(configs:int -> bool) ->
+    ?spill:Asyncolor_resilience.Spill.t * int ->
     ?check_outputs:(P.output option array -> string option) ->
     ?check_config:(E.t -> string option) ->
     ?obs:Asyncolor_obs.Obs.t ->
@@ -236,7 +324,13 @@ module Make (P : Asyncolor_kernel.Protocol.S) : sig
       execution policy ([jobs]/[policy] as in {!explore}), and the
       observability sink ([obs] as in {!explore}, with an extra
       ["checkpoint.load"] span; the ["explorer.configs"] counter counts
-      only configurations interned {e after} the resume point).
+      only configurations interned {e after} the resume point).  Whether
+      the run is symmetry-reduced is recorded {e in} the checkpoint (the
+      persisted adjacency encoding depends on it) and cannot be changed on
+      resume; [spill] may be freshly supplied — checkpoints are
+      self-contained (the adjacency stream is reassembled into the file at
+      save time), so a resumed run re-spills into its own directory as
+      levels close.
       @raise Asyncolor_resilience.Checkpoint.Corrupt as {!resume_info}. *)
 
   val pp_report : Format.formatter -> report -> unit

@@ -76,6 +76,7 @@ let run ?(quick = false) ?(seed = 54) () =
           r.livelock;
       safety = [];
       worst_case_activations = r.worst_case_activations;
+      orbit = r.orbit;
     }
   in
   let conv3 (r : Exp3.report) : Exp1.report =
@@ -92,6 +93,7 @@ let run ?(quick = false) ?(seed = 54) () =
           r.livelock;
       safety = [];
       worst_case_activations = r.worst_case_activations;
+      orbit = r.orbit;
     }
   in
   let g3 = Builders.cycle 3 and g4 = Builders.cycle 4 in

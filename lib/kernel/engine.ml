@@ -259,8 +259,11 @@ module Make (P : Protocol.S) = struct
     done;
     !h
 
-  let config_key c =
-    let buf = Asyncolor_util.Vec.create ~capacity:64 ~dummy:0 () in
+  (* Append process [p]'s framed segment to [buf].  [config_key] is the
+     in-order concatenation of these segments, so a permuted concatenation
+     is exactly the key of the correspondingly permuted configuration —
+     the invariant the explorer's orbit canonicalization leans on. *)
+  let emit_process_segment buf c p =
     let emit x = Asyncolor_util.Vec.push buf x in
     (* emit a length placeholder, run the payload encoder, patch it *)
     let framed encode =
@@ -269,27 +272,50 @@ module Make (P : Protocol.S) = struct
       encode ();
       Asyncolor_util.Vec.set buf at (Asyncolor_util.Vec.length buf - at - 1)
     in
+    (match c.c_status.(p) with
+    | Status.Asleep -> emit 0
+    | Status.Working -> emit 1
+    | Status.Returned o ->
+        emit 2;
+        framed (fun () -> P.encode_output emit o));
+    (match c.c_states.(p) with
+    | None -> emit 0
+    | Some s ->
+        emit 1;
+        framed (fun () -> P.encode_state emit s));
+    match c.c_public.(p) with
+    | None -> emit 0
+    | Some r ->
+        emit 1;
+        framed (fun () -> P.encode_register emit r)
+
+  let config_key c =
+    let buf = Asyncolor_util.Vec.create ~capacity:64 ~dummy:0 () in
     let n = Array.length c.c_status in
     for p = 0 to n - 1 do
-      (match c.c_status.(p) with
-      | Status.Asleep -> emit 0
-      | Status.Working -> emit 1
-      | Status.Returned o ->
-          emit 2;
-          framed (fun () -> P.encode_output emit o));
-      (match c.c_states.(p) with
-      | None -> emit 0
-      | Some s ->
-          emit 1;
-          framed (fun () -> P.encode_state emit s));
-      match c.c_public.(p) with
-      | None -> emit 0
-      | Some r ->
-          emit 1;
-          framed (fun () -> P.encode_register emit r)
+      emit_process_segment buf c p
     done;
     let kdata = Asyncolor_util.Vec.to_array buf in
     { kdata; khash = hash_ints kdata }
+
+  let config_key_segments c =
+    let n = Array.length c.c_status in
+    Array.init n (fun p ->
+        let buf = Asyncolor_util.Vec.create ~capacity:16 ~dummy:0 () in
+        emit_process_segment buf c p;
+        Asyncolor_util.Vec.to_array buf)
+
+  let config_permute c perm =
+    let n = Array.length c.c_status in
+    if Array.length perm <> n then
+      invalid_arg "Engine.config_permute: permutation length must match n";
+    {
+      c_states = Array.init n (fun q -> c.c_states.(perm.(q)));
+      c_status = Array.init n (fun q -> c.c_status.(perm.(q)));
+      c_public = Array.init n (fun q -> c.c_public.(perm.(q)));
+      c_time = c.c_time;
+      c_activations = Array.init n (fun q -> c.c_activations.(perm.(q)));
+    }
 
   let key_hash k = k.khash
   let key_data k = k.kdata

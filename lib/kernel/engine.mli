@@ -165,6 +165,26 @@ module Make (P : Protocol.S) : sig
   (** Rebuild a key from {!key_data} output (the hash is recomputed, so a
       checkpoint never has to trust a stored hash). *)
 
+  val config_key_segments : config -> int array array
+  (** The per-process framed segments of {!config_key}: element [p] is
+      the packed encoding of process [p]'s (status, state, register)
+      triple, and [key_data (config_key c)] is exactly the in-order
+      concatenation of the segments.  This decomposition is what lets the
+      explorer's symmetry layer build the key of a permuted configuration
+      by concatenating segments in permuted order, without re-running the
+      protocol encoders once per group element. *)
+
+  val config_permute : config -> int array -> config
+  (** [config_permute c perm] is the configuration whose position [q]
+      holds what [c] held at position [perm.(q)] (status, state, register
+      and activation counter alike; time is preserved).  When [perm] is
+      an automorphism of the topology that fixes the identifier
+      assignment, the result is a reachable configuration of the same
+      system — the orbit member the symmetry-reduced explorer picks
+      representatives from.  @raise Invalid_argument if [perm]'s length
+      differs from the process count (bijectivity is the caller's
+      contract; see {!Asyncolor_topology.Graph.is_automorphism}). *)
+
   module Key_tbl : Hashtbl.S with type key = key
   (** Hash table over packed keys — the hash-consed configuration store
       of {!Asyncolor_check.Explorer}. *)

@@ -1,0 +1,78 @@
+(* Spilled BFS levels: delta-encoded int arrays inside the Checkpoint
+   container, one file per level under a caller-owned directory. *)
+
+type t = {
+  dir : string;
+  bytes_written : int Atomic.t;
+  bytes_read : int Atomic.t;
+  levels : int Atomic.t;
+}
+
+let payload_version = 1
+
+let create ~dir =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then
+    invalid_arg (Printf.sprintf "Spill.create: %s exists and is not a directory" dir);
+  {
+    dir;
+    bytes_written = Atomic.make 0;
+    bytes_read = Atomic.make 0;
+    levels = Atomic.make 0;
+  }
+
+let dir t = t.dir
+let path t ~level = Filename.concat t.dir (Printf.sprintf "level-%06d.spill" level)
+
+(* First word verbatim, then successive differences: adjacency streams are
+   dominated by near-monotone config ids and small masks, so the deltas are
+   mostly short ints, which Marshal encodes in 1–2 bytes instead of 8. *)
+let delta_encode a =
+  let n = Array.length a in
+  let out = Array.make n 0 in
+  if n > 0 then begin
+    out.(0) <- a.(0);
+    for i = 1 to n - 1 do
+      out.(i) <- a.(i) - a.(i - 1)
+    done
+  end;
+  out
+
+let delta_decode d =
+  let n = Array.length d in
+  let out = Array.make n 0 in
+  if n > 0 then begin
+    out.(0) <- d.(0);
+    for i = 1 to n - 1 do
+      out.(i) <- out.(i - 1) + d.(i)
+    done
+  end;
+  out
+
+let write t ~level data =
+  let path = path t ~level in
+  Checkpoint.save ~path ~version:payload_version (delta_encode data);
+  let bytes = (Unix.stat path).Unix.st_size in
+  Atomic.fetch_and_add t.bytes_written bytes |> ignore;
+  Atomic.incr t.levels;
+  bytes
+
+let read t ~level =
+  let path = path t ~level in
+  let delta =
+    try Checkpoint.load ~path ~version:payload_version
+    with Checkpoint.Corrupt msg ->
+      raise (Checkpoint.Corrupt (Printf.sprintf "%s: %s" path msg))
+  in
+  let data = delta_decode delta in
+  Atomic.fetch_and_add t.bytes_read ((Unix.stat path).Unix.st_size) |> ignore;
+  data
+
+let bytes_written t = Atomic.get t.bytes_written
+let bytes_read t = Atomic.get t.bytes_read
+let levels_on_disk t = Atomic.get t.levels
+
+let files t =
+  Sys.readdir t.dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".spill")
+  |> List.sort compare

@@ -1,0 +1,52 @@
+(** Spilled BFS levels on disk — the explorer's escape hatch from the
+    live heap.
+
+    A spill store owns a directory of level files, one per closed BFS
+    level handed over by {!Asyncolor_util.Sharded_tbl.Level_log.seal}.
+    Each file is an ordinary {!Checkpoint} container (same magic, format,
+    atomic tmp+fsync+rename write, MD5-checksummed payload), whose payload
+    is the level's word array {e delta-encoded} (first word verbatim, then
+    successive differences — adjacency streams are near-monotone, so the
+    deltas marshal to 1–2 bytes instead of 8).  Corruption therefore
+    surfaces exactly like checkpoint corruption: {!Checkpoint.Corrupt} —
+    with the offending {e file path} prefixed onto the message, since a
+    run can own many level files and the caller needs to know which one
+    to delete.
+
+    Byte counters are atomics: {!write} may run on a background executor
+    task while the merge thread keeps interning, and the CLI reads the
+    totals for its spill-pressure diagnostics. *)
+
+type t
+
+val create : dir:string -> t
+(** Open (creating if needed) the spill directory.
+    @raise Invalid_argument if [dir] exists and is not a directory;
+    @raise Unix.Unix_error if it cannot be created. *)
+
+val dir : t -> string
+
+val path : t -> level:int -> string
+(** The file that {!write} targets for [level] ([level-NNNNNN.spill]
+    under the store's directory). *)
+
+val write : t -> level:int -> int array -> int
+(** Delta-encode and persist one closed level, atomically; returns the
+    container size in bytes.  Levels are written at most once per run
+    (level indices come from [Level_log.seal], which assigns them
+    sequentially). *)
+
+val read : t -> level:int -> int array
+(** Load and decode a level.
+    @raise Checkpoint.Corrupt — message prefixed with the file path — on
+    a missing, truncated, bit-flipped or version-skewed file. *)
+
+val bytes_written : t -> int
+val bytes_read : t -> int
+
+val levels_on_disk : t -> int
+(** Number of levels written through this store. *)
+
+val files : t -> string list
+(** The [.spill] files currently in the directory, sorted — what the CI
+    artifact step lists. *)

@@ -65,6 +65,47 @@ let is_connected t =
 let is_cycle t =
   n t >= 3 && Array.for_all (fun a -> Array.length a = 2) t.adj && is_connected t
 
+let is_automorphism t perm =
+  let nodes = n t in
+  Array.length perm = nodes
+  && (let seen = Array.make nodes false in
+      Array.for_all
+        (fun p ->
+          p >= 0 && p < nodes && (not seen.(p))
+          && begin
+               seen.(p) <- true;
+               true
+             end)
+        perm)
+  && fold_edges (fun u v ok -> ok && mem_edge t perm.(u) perm.(v)) t true
+
+let automorphisms t =
+  let nodes = n t in
+  if nodes = 0 then [ [||] ]
+  else begin
+    (* Index-dihedral candidates: rotations p -> p+k and reflections
+       p -> r-p (mod n), 2n maps in all.  Filtering them through
+       [is_automorphism] yields the full dihedral group on cycles and
+       cliques (whose automorphism groups contain it), the compatible
+       reflections on paths and stars, and the identity alone on graphs
+       with no index symmetry — exactly the subgroup the explorer's
+       quotient construction needs (any automorphism subgroup is sound;
+       completeness of the reduction is a perf concern, not a
+       correctness one). *)
+    let rotation k = Array.init nodes (fun p -> (p + k) mod nodes) in
+    let reflection r = Array.init nodes (fun p -> ((r - p) mod nodes + nodes) mod nodes) in
+    let candidates =
+      List.init nodes rotation @ List.init nodes reflection
+    in
+    let keep = ref [] in
+    List.iter
+      (fun perm ->
+        if is_automorphism t perm && not (List.exists (fun q -> q = perm) !keep)
+        then keep := perm :: !keep)
+      candidates;
+    List.rev !keep
+  end
+
 let equal a b = a.adj = b.adj
 
 let pp ppf t =

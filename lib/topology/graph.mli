@@ -42,6 +42,21 @@ val is_cycle : t -> bool
 (** [is_cycle g] holds iff [g] is a simple cycle on [n >= 3] nodes
     (connected and 2-regular). *)
 
+val is_automorphism : t -> int array -> bool
+(** [is_automorphism g perm] holds iff [perm] is a permutation of
+    [0 .. n-1] mapping edges to edges.  On a finite simple graph a
+    bijective edge-preserving vertex map is an automorphism. *)
+
+val automorphisms : t -> int array list
+(** The index-dihedral automorphisms of [g]: the candidates
+    [p -> (p+k) mod n] (rotations) and [p -> (r-p) mod n] (reflections)
+    filtered through {!is_automorphism} and deduplicated.  The identity is
+    always the head of the list.  On cycles and cliques this is the full
+    dihedral group of order [2n] (cliques have more automorphisms, but
+    only the dihedral ones are enumerated — any subgroup is sound for
+    quotienting); on paths and stars the compatible reflections survive;
+    on graphs with no index symmetry the result is the identity alone. *)
+
 val equal : t -> t -> bool
 
 val pp : Format.formatter -> t -> unit

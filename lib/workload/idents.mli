@@ -2,9 +2,11 @@
 
     The running time of Algorithms 1–2 is governed by the longest monotone
     chain of identifiers around the cycle (Lemma 3.9, Remark 3.10), so the
-    choice of identifier workload *is* the benchmark workload.  All
-    generators return an array of pairwise-distinct naturals, one per node
-    in cycle order. *)
+    choice of identifier workload *is* the benchmark workload.  Generators
+    return an array of naturals, one per node in cycle order —
+    pairwise-distinct (the paper's model) except for the deliberately
+    symmetric {!uniform} and {!periodic} workloads that feed the
+    explorer's symmetry-reduction benchmarks. *)
 
 val increasing : int -> int array
 (** [0, 1, …, n-1]: one monotone chain spanning the whole cycle — the
@@ -23,6 +25,21 @@ val random_sparse : Asyncolor_util.Prng.t -> n:int -> universe:int -> int array
 (** [n] distinct identifiers drawn from [\[0, universe)] — the paper's
     [poly(n)]-sized name space.  @raise Invalid_argument if
     [universe < n]. *)
+
+val uniform : ?ident:int -> int -> int array
+(** Every node carries the same identifier (default 7).  Deliberately
+    outside the paper's distinct-identifier model: the anonymous cycle is
+    the maximally symmetric workload — all [2n] dihedral automorphisms
+    preserve it — so it is what the explorer's symmetry reduction is
+    benchmarked and differentially tested on (the algorithms may
+    legitimately livelock or miscolour here; the two explorers must agree
+    that they do). *)
+
+val periodic : int array -> int -> int array
+(** Tile a pattern around the cycle ([periodic [|0;1|] 6] =
+    [[|0;1;0;1;0;1|]]): symmetric under the rotations that are multiples
+    of the pattern length, a middle ground between {!uniform} and the
+    injective workloads.  @raise Invalid_argument on an empty pattern. *)
 
 val bit_adversarial : int -> int array
 (** Identifiers engineered so consecutive nodes differ only in a high bit

@@ -465,7 +465,8 @@ let test_reference_rejects_crash_options () =
   let expected =
     Invalid_argument
       "Explorer.explore: the `Reference oracle supports neither checkpoints, \
-       budgets, stop callbacks nor execution policies (use `Hashcons)"
+       budgets, stop callbacks, execution policies, symmetry reduction nor \
+       spilling (use `Hashcons)"
   in
   Alcotest.check_raises "reference oracle has no checkpoint support" expected
     (fun () ->

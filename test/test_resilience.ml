@@ -3,6 +3,7 @@
    line-atomic diagnostics. *)
 
 module Checkpoint = Asyncolor_resilience.Checkpoint
+module Spill = Asyncolor_resilience.Spill
 module Budget = Asyncolor_resilience.Budget
 module Stop = Asyncolor_resilience.Stop
 module Diag = Asyncolor_resilience.Diag
@@ -95,6 +96,116 @@ let test_checkpoint_overwrite_atomic () =
         (Checkpoint.load ~path ~version:1);
       check Alcotest.bool "no temp file left behind" false
         (Sys.file_exists (path ^ ".tmp")))
+
+(* --- Spill ----------------------------------------------------------- *)
+
+(* Spilled levels are Checkpoint containers, so they inherit the whole
+   damage taxonomy above — but a run owns many level files, so every
+   Corrupt raised through [Spill.read] must carry the offending file's
+   path in its message. *)
+
+let with_temp_spill f =
+  let dir = Filename.temp_file "asyncolor-spill" ".d" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun name -> Sys.remove (Filename.concat dir name))
+          (Sys.readdir dir);
+        Unix.rmdir dir
+      end)
+    (fun () -> f (Spill.create ~dir))
+
+let expect_corrupt_with_path what path f =
+  match f () with
+  | (_ : int array) -> Alcotest.failf "%s: expected Corrupt" what
+  | exception Checkpoint.Corrupt msg ->
+      check Alcotest.bool (what ^ ": message names the file") true
+        (Astring.String.is_infix ~affix:path msg)
+
+(* Rewrite a level file through an arbitrary byte-level mutation. *)
+let damage path mutate =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let b = Bytes.of_string (really_input_string ic len) in
+  close_in ic;
+  let b = mutate b in
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc
+
+let prop_spill_roundtrip =
+  QCheck.Test.make ~name:"spill write/read round-trip (delta codec)"
+    QCheck.(array int)
+    (fun words ->
+      with_temp_spill (fun sp ->
+          let bytes = Spill.write sp ~level:0 words in
+          bytes > 0
+          && Spill.read sp ~level:0 = words
+          && Spill.bytes_written sp = bytes
+          && Spill.bytes_read sp = bytes
+          && Spill.levels_on_disk sp = 1
+          && Spill.files sp = [ Filename.basename (Spill.path sp ~level:0) ]))
+
+let test_spill_truncated () =
+  with_temp_spill (fun sp ->
+      ignore (Spill.write sp ~level:3 (Array.init 200 (fun i -> i * i)));
+      let path = Spill.path sp ~level:3 in
+      damage path (fun b -> Bytes.sub b 0 (Bytes.length b - 9));
+      expect_corrupt_with_path "truncated level" path (fun () ->
+          Spill.read sp ~level:3))
+
+let test_spill_bit_flip () =
+  with_temp_spill (fun sp ->
+      ignore (Spill.write sp ~level:0 (Array.init 500 (fun i -> 3 * i)));
+      let path = Spill.path sp ~level:0 in
+      damage path (fun b ->
+          (* flip one payload byte past the 48-byte container header *)
+          let i = 48 + ((Bytes.length b - 48) / 2) in
+          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x10));
+          b);
+      expect_corrupt_with_path "bit-flipped level" path (fun () ->
+          Spill.read sp ~level:0))
+
+let test_spill_bad_magic () =
+  with_temp_spill (fun sp ->
+      ignore (Spill.write sp ~level:1 [| 42 |]);
+      let path = Spill.path sp ~level:1 in
+      damage path (fun b ->
+          Bytes.set b 0 'X';
+          b);
+      expect_corrupt_with_path "bad magic" path (fun () ->
+          Spill.read sp ~level:1))
+
+let test_spill_missing_level () =
+  with_temp_spill (fun sp ->
+      ignore (Spill.write sp ~level:0 [| 1; 2; 3 |]);
+      expect_corrupt_with_path "level never written"
+        (Spill.path sp ~level:7)
+        (fun () -> Spill.read sp ~level:7))
+
+let test_spill_version_skew () =
+  with_temp_spill (fun sp ->
+      (* a well-formed container of the wrong version at the level path:
+         what a file from a future release would look like *)
+      Checkpoint.save ~path:(Spill.path sp ~level:2) ~version:31337
+        [| 1; 2; 3 |];
+      expect_corrupt_with_path "version skew"
+        (Spill.path sp ~level:2)
+        (fun () -> Spill.read sp ~level:2))
+
+let test_spill_files_sorted () =
+  with_temp_spill (fun sp ->
+      List.iter
+        (fun level -> ignore (Spill.write sp ~level [| level |]))
+        [ 2; 0; 1 ];
+      check
+        Alcotest.(list string)
+        "sorted regardless of write order"
+        [ "level-000000.spill"; "level-000001.spill"; "level-000002.spill" ]
+        (Spill.files sp);
+      check Alcotest.int "three levels accounted" 3 (Spill.levels_on_disk sp))
 
 (* --- Budget --------------------------------------------------------- *)
 
@@ -199,6 +310,21 @@ let () =
             test_checkpoint_truncation;
           Alcotest.test_case "atomic overwrite" `Quick
             test_checkpoint_overwrite_atomic;
+        ] );
+      ( "spill",
+        [
+          qtest prop_spill_roundtrip;
+          Alcotest.test_case "truncated level names file" `Quick
+            test_spill_truncated;
+          Alcotest.test_case "bit-flip names file" `Quick test_spill_bit_flip;
+          Alcotest.test_case "bad magic names file" `Quick
+            test_spill_bad_magic;
+          Alcotest.test_case "missing level names file" `Quick
+            test_spill_missing_level;
+          Alcotest.test_case "version skew names file" `Quick
+            test_spill_version_skew;
+          Alcotest.test_case "files listing sorted" `Quick
+            test_spill_files_sorted;
         ] );
       ( "budget",
         [

@@ -1,0 +1,292 @@
+(* Property and differential tests for the explorer's dihedral symmetry
+   reduction: orbit canonicalization on the intern path, quotient
+   soundness against the unreduced explorer, and the interplay with the
+   spill-to-disk frontier. *)
+
+module Explorer = Asyncolor_check.Explorer
+module Builders = Asyncolor_topology.Builders
+module Graph = Asyncolor_topology.Graph
+module Idents = Asyncolor_workload.Idents
+module Executor = Asyncolor_util.Executor
+module Spill = Asyncolor_resilience.Spill
+
+let check = Alcotest.check
+let qtest t = QCheck_alcotest.to_alcotest t
+
+module Exp = Explorer.Make (Asyncolor.Algorithm2.P)
+module E = Exp.E
+
+(* --- canonicalization properties --------------------------------------- *)
+
+(* A random reachable configuration: replay a list of raw activation
+   masks from the root, clamping each against the working processes at
+   that point (an empty clamped set is skipped, not an error). *)
+let config_of_schedule graph ~idents masks =
+  let e = E.create graph ~idents in
+  List.iter
+    (fun raw ->
+      let un = E.config_unfinished_mask (E.snapshot e) in
+      let m = raw land un in
+      if m <> 0 then E.activate_mask e m)
+    masks;
+  E.snapshot e
+
+let idents_of_workload n = function
+  | `Uniform -> Idents.uniform n
+  | `Periodic -> Idents.periodic [| 0; 1 |] n
+  | `Distinct -> Idents.increasing n
+
+let pp_workload = function
+  | `Uniform -> "uniform"
+  | `Periodic -> "periodic"
+  | `Distinct -> "distinct"
+
+(* (cycle length, identifier workload, raw activation masks) for
+   n ∈ 3..10 across all three symmetry regimes: full dihedral group,
+   a proper subgroup, and the trivial group. *)
+let arb_instance =
+  let gen =
+    QCheck.Gen.(
+      int_range 3 10 >>= fun n ->
+      oneofl [ `Uniform; `Periodic; `Distinct ] >>= fun w ->
+      list_size (int_range 0 6) (int_range 1 ((1 lsl n) - 1)) >>= fun masks ->
+      return (n, w, masks))
+  in
+  let print (n, w, masks) =
+    Printf.sprintf "n=%d %s [%s]" n (pp_workload w)
+      (String.concat ";" (List.map string_of_int masks))
+  in
+  QCheck.make ~print gen
+
+(* canon (permute c σ) = canon c for every group element σ — rotations
+   and reflections alike, since the group enumerates all of them. *)
+let prop_canon_orbit_invariant (n, w, masks) =
+  let graph = Builders.cycle n in
+  let idents = idents_of_workload n w in
+  let group = Exp.symmetry_group ~symmetry:true graph ~idents in
+  let c = config_of_schedule graph ~idents masks in
+  let key, _rep, orbit, _wi = Exp.canonicalize group c in
+  Array.for_all
+    (fun sigma ->
+      let key', _, orbit', _ =
+        Exp.canonicalize group (E.config_permute c sigma)
+      in
+      E.key_equal key key' && orbit = orbit')
+    group
+
+(* canonicalize is idempotent: the representative canonicalizes to
+   itself, with the identity (index 0) as winner. *)
+let prop_canon_idempotent (n, w, masks) =
+  let graph = Builders.cycle n in
+  let idents = idents_of_workload n w in
+  let group = Exp.symmetry_group ~symmetry:true graph ~idents in
+  let c = config_of_schedule graph ~idents masks in
+  let key, rep, orbit, _ = Exp.canonicalize group c in
+  let key', _rep', orbit', wi' = Exp.canonicalize group rep in
+  E.key_equal key key'
+  && E.key_equal key (E.config_key rep)
+  && orbit' = orbit && wi' = 0
+
+(* 1 ≤ orbit size ≤ |group|, and the group itself is the dihedral group
+   on uniform workloads (order 2n), trivial on injective ones. *)
+let prop_orbit_size_bounded (n, w, masks) =
+  let graph = Builders.cycle n in
+  let idents = idents_of_workload n w in
+  let group = Exp.symmetry_group ~symmetry:true graph ~idents in
+  let expected_order =
+    match w with `Uniform -> 2 * n | `Distinct -> 1 | `Periodic -> Array.length group
+  in
+  let c = config_of_schedule graph ~idents masks in
+  let _, _, orbit, wi = Exp.canonicalize group c in
+  Array.length group = expected_order
+  && 1 <= orbit
+  && orbit <= Array.length group
+  && 0 <= wi
+  && wi < Array.length group
+
+(* The mask engine and the list engine must agree on the canonical key of
+   the configuration a common schedule reaches. *)
+let prop_mask_list_agree (n, w, masks) =
+  let graph = Builders.cycle n in
+  let idents = idents_of_workload n w in
+  let group = Exp.symmetry_group ~symmetry:true graph ~idents in
+  let em = E.create graph ~idents and el = E.create graph ~idents in
+  List.iter
+    (fun raw ->
+      let un = E.config_unfinished_mask (E.snapshot em) in
+      let m = raw land un in
+      if m <> 0 then begin
+        E.activate_mask em m;
+        E.activate el (Explorer.subset_of_mask m)
+      end)
+    masks;
+  let km, _, _, _ = Exp.canonicalize group (E.snapshot em) in
+  let kl, _, _, _ = Exp.canonicalize group (E.snapshot el) in
+  E.key_equal km kl
+
+let test_canon_orbit_invariant =
+  QCheck.Test.make ~name:"canon (permute c sigma) = canon c (n in 3..10)"
+    ~count:100 arb_instance prop_canon_orbit_invariant
+
+let test_canon_idempotent =
+  QCheck.Test.make ~name:"canon idempotent on representatives" ~count:100
+    arb_instance prop_canon_idempotent
+
+let test_orbit_size_bounded =
+  QCheck.Test.make ~name:"orbit size in [1, |group|], group order exact"
+    ~count:100 arb_instance prop_orbit_size_bounded
+
+let test_mask_list_agree =
+  QCheck.Test.make ~name:"mask/list engines agree post-canonicalization"
+    ~count:100 arb_instance prop_mask_list_agree
+
+(* --- differential: reduced vs unreduced -------------------------------- *)
+
+let report = Alcotest.testable Exp.pp_report ( = )
+
+(* The quotient run must agree with the unreduced run after orbit
+   expansion: counts, completeness, both verdicts, the exact worst case.
+   And the reduced run must be report-identical to itself across jobs
+   and execution policies — canonicalization is deterministic, so the
+   work-stealing merge still produces one canonical report. *)
+let diff_symmetric ?(mode = `All_subsets) graph ~idents () =
+  let off = Exp.explore ~mode graph ~idents in
+  let on_ = Exp.explore ~mode ~symmetry:true graph ~idents in
+  (match on_.orbit with
+  | None -> Alcotest.fail "orbit stats expected on a symmetry-reduced run"
+  | Some o ->
+      check Alcotest.int "expanded configs" off.configs o.expanded_configs;
+      check Alcotest.int "expanded transitions" off.transitions
+        o.expanded_transitions;
+      check Alcotest.int "expanded terminal" off.terminal_configs
+        o.expanded_terminal;
+      check Alcotest.bool "reduction strict when group nontrivial" true
+        (o.group_order = 1 || on_.configs < off.configs));
+  check Alcotest.bool "complete" off.complete on_.complete;
+  check Alcotest.bool "wait-free verdict" off.wait_free on_.wait_free;
+  check Alcotest.int "exact worst case" off.worst_case_activations
+    on_.worst_case_activations;
+  check Alcotest.bool "livelock verdict" (off.livelock <> None)
+    (on_.livelock <> None);
+  check Alcotest.bool "safety verdict" (off.safety <> [])
+    (on_.safety <> []);
+  List.iter
+    (fun (name, jobs, policy) ->
+      check report (name ^ " = serial") on_
+        (Exp.explore ~mode ~symmetry:true ~jobs ~policy graph ~idents))
+    [
+      ("sync jobs=2", 2, Executor.Synchronous);
+      ("sync jobs=4", 4, Executor.Synchronous);
+      ("async κ=0.5 jobs=2", 2, Executor.asynchronous ~kappa:0.5 ~jobs:2 ());
+      ("async κ=0.5 jobs=4", 4, Executor.asynchronous ~kappa:0.5 ~jobs:4 ());
+    ]
+
+let test_diff_uniform_c4 () =
+  diff_symmetric (Builders.cycle 4) ~idents:(Idents.uniform 4) ()
+
+let test_diff_uniform_c5_singletons () =
+  diff_symmetric ~mode:`Singletons (Builders.cycle 5)
+    ~idents:(Idents.uniform 5) ()
+
+let test_diff_periodic_c6 () =
+  diff_symmetric ~mode:`Singletons (Builders.cycle 6)
+    ~idents:(Idents.periodic [| 3; 8 |] 6) ()
+
+(* Distinct identifiers (the E6/E13/E17 regime): the group degenerates to
+   the identity, and symmetry-on must match symmetry-off field-for-field
+   with orbit accounting that just echoes the plain counts. *)
+let test_diff_distinct_trivial_group () =
+  let graph = Builders.cycle 4 in
+  let idents = [| 5; 1; 9; 4 |] in
+  let grp = Exp.symmetry_group ~symmetry:true graph ~idents in
+  check Alcotest.int "group is trivial" 1 (Array.length grp);
+  let off = Exp.explore graph ~idents in
+  let on_ = Exp.explore ~symmetry:true graph ~idents in
+  check report "identical up to orbit stats" off { on_ with orbit = None };
+  check
+    (Alcotest.testable
+       (fun ppf (o : Explorer.orbit_stats) ->
+         Format.fprintf ppf "G=%d C=%d T=%d F=%d" o.group_order
+           o.expanded_configs o.expanded_transitions o.expanded_terminal)
+       ( = ))
+    "orbit stats echo the plain counts"
+    {
+      Explorer.group_order = 1;
+      expanded_configs = off.configs;
+      expanded_transitions = off.transitions;
+      expanded_terminal = off.terminal_configs;
+    }
+    (Option.get on_.orbit)
+
+(* --- spill invariance --------------------------------------------------- *)
+
+let with_temp_spill_dir f =
+  let dir = Filename.temp_file "asyncolor-spill" ".d" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun name -> Sys.remove (Filename.concat dir name))
+          (Sys.readdir dir);
+        Unix.rmdir dir
+      end)
+    (fun () -> f dir)
+
+(* Spilling closed levels to disk is a memory optimisation, not a
+   semantic one: with a zero threshold (spill at every merge boundary)
+   the report must stay identical to the in-memory run, symmetric or
+   not, serial or work-stealing. *)
+let test_spill_report_invariant () =
+  let graph = Builders.cycle 5 in
+  let idents = Idents.uniform 5 in
+  List.iter
+    (fun symmetry ->
+      let plain = Exp.explore ~symmetry graph ~idents in
+      List.iter
+        (fun (name, jobs, policy) ->
+          with_temp_spill_dir (fun dir ->
+              let sp = Spill.create ~dir in
+              let spilled =
+                Exp.explore ~symmetry ~spill:(sp, 0) ~jobs ~policy graph
+                  ~idents
+              in
+              check report
+                (Printf.sprintf "spilled %s (symmetry %b) = in-memory" name
+                   symmetry)
+                plain spilled;
+              check Alcotest.bool "levels actually hit the disk" true
+                (Spill.levels_on_disk sp > 0)))
+        [
+          ("serial", 1, Executor.Serial);
+          ("async κ=0.5 jobs=4", 4, Executor.asynchronous ~kappa:0.5 ~jobs:4 ());
+        ])
+    [ false; true ]
+
+let () =
+  Alcotest.run "symmetry"
+    [
+      ( "canonicalization",
+        [
+          qtest test_canon_orbit_invariant;
+          qtest test_canon_idempotent;
+          qtest test_orbit_size_bounded;
+          qtest test_mask_list_agree;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "uniform C4 (full model)" `Quick
+            test_diff_uniform_c4;
+          Alcotest.test_case "uniform C5 (interleaved)" `Quick
+            test_diff_uniform_c5_singletons;
+          Alcotest.test_case "periodic C6 (interleaved)" `Quick
+            test_diff_periodic_c6;
+          Alcotest.test_case "distinct idents: trivial group" `Quick
+            test_diff_distinct_trivial_group;
+        ] );
+      ( "spill",
+        [
+          Alcotest.test_case "report invariant under spilling" `Quick
+            test_spill_report_invariant;
+        ] );
+    ]

@@ -661,6 +661,105 @@ let test_sharded_tbl_explicit_shard () =
   Int_tbl.iter (fun k v -> seen := (k, v) :: !seen) t;
   check Alcotest.int "iter visits every binding" 4 (List.length !seen)
 
+(* --- Level_log -------------------------------------------------------- *)
+
+module Level_log = Asyncolor_util.Sharded_tbl.Level_log
+
+let no_fetch ~level = Alcotest.failf "unexpected fetch of level %d" level
+
+let test_level_log_plain_vector () =
+  (* without a threshold the log is a plain resident vector: seal never
+     closes anything and reassembly needs no fetch *)
+  let l = Level_log.create () in
+  for i = 0 to 99 do
+    Level_log.push l (i * 3)
+  done;
+  check Alcotest.int "length" 100 (Level_log.length l);
+  check Alcotest.int "all resident" 100 (Level_log.resident_words l);
+  check Alcotest.int "nothing spilled" 0 (Level_log.spilled_words l);
+  check Alcotest.bool "seal is a no-op" true (Level_log.seal l = None);
+  check
+    Alcotest.(array int)
+    "to_array round-trip"
+    (Array.init 100 (fun i -> i * 3))
+    (Level_log.to_array ~fetch:no_fetch l)
+
+let test_level_log_seal_threshold () =
+  let l = Level_log.create ~threshold_words:10 () in
+  let store = Hashtbl.create 8 in
+  let maybe_seal () =
+    match Level_log.seal l with
+    | None -> ()
+    | Some (level, words) ->
+        check Alcotest.bool "level indices sequential" false
+          (Hashtbl.mem store level);
+        check Alcotest.bool "sealed at or above threshold" true
+          (Array.length words >= 10);
+        Hashtbl.add store level words
+  in
+  for i = 0 to 34 do
+    Level_log.push l i;
+    (* a safe boundary every 7 pushes: below threshold the tail stays *)
+    if (i + 1) mod 7 = 0 then maybe_seal ()
+  done;
+  check Alcotest.int "length counts closed levels" 35 (Level_log.length l);
+  check Alcotest.int "two levels closed" 2 (Level_log.spilled_levels l);
+  check Alcotest.int "spilled words" 28 (Level_log.spilled_words l);
+  check Alcotest.int "resident tail" 7 (Level_log.resident_words l);
+  let fetch ~level = Hashtbl.find store level in
+  check
+    Alcotest.(array int)
+    "to_array stitches levels in order"
+    (Array.init 35 Fun.id)
+    (Level_log.to_array ~fetch l);
+  let ba = Level_log.to_bigarray ~fetch l in
+  check Alcotest.int "bigarray dim" 35 (Bigarray.Array1.dim ba);
+  let ok = ref true in
+  for i = 0 to 34 do
+    if Bigarray.Array1.get ba i <> i then ok := false
+  done;
+  check Alcotest.bool "bigarray contents" true !ok
+
+let test_level_log_of_array () =
+  let l = Level_log.of_array ~threshold_words:2 [| 9; 8; 7 |] in
+  check Alcotest.int "seeded length" 3 (Level_log.length l);
+  Level_log.push l 6;
+  match Level_log.seal l with
+  | None -> Alcotest.fail "tail above threshold must seal"
+  | Some (level, words) ->
+      check Alcotest.int "first level index" 0 level;
+      check Alcotest.(array int) "seed + push sealed" [| 9; 8; 7; 6 |] words;
+      check Alcotest.int "offsets stable across seal" 4 (Level_log.length l);
+      check
+        Alcotest.(array int)
+        "reassembly fetches the seal"
+        [| 9; 8; 7; 6 |]
+        (Level_log.to_array ~fetch:(fun ~level:_ -> words) l)
+
+let test_level_log_fetch_length_mismatch () =
+  let l = Level_log.of_array ~threshold_words:1 [| 1; 2; 3 |] in
+  (match Level_log.seal l with
+  | Some _ -> ()
+  | None -> Alcotest.fail "seal expected");
+  (* the cheap second line of defence behind the spill checksum *)
+  match Level_log.to_array ~fetch:(fun ~level:_ -> [| 1; 2 |]) l with
+  | _ -> Alcotest.fail "length mismatch must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_level_log_negative_threshold () =
+  match Level_log.create ~threshold_words:(-1) () with
+  | _ -> Alcotest.fail "negative threshold must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_level_log_empty_tail_never_seals () =
+  let l = Level_log.create ~threshold_words:0 () in
+  check Alcotest.bool "empty tail" true (Level_log.seal l = None);
+  Level_log.push l 42;
+  (match Level_log.seal l with
+  | Some (0, [| 42 |]) -> ()
+  | _ -> Alcotest.fail "threshold 0 seals any non-empty tail");
+  check Alcotest.bool "tail empty again" true (Level_log.seal l = None)
+
 (* --- Jsonout -------------------------------------------------------- *)
 
 module Jsonout = Asyncolor_util.Jsonout
@@ -782,6 +881,21 @@ let () =
           Alcotest.test_case "basics" `Quick test_sharded_tbl_basics;
           Alcotest.test_case "explicit shards" `Quick
             test_sharded_tbl_explicit_shard;
+        ] );
+      ( "level_log",
+        [
+          Alcotest.test_case "plain vector without threshold" `Quick
+            test_level_log_plain_vector;
+          Alcotest.test_case "seal threshold semantics" `Quick
+            test_level_log_seal_threshold;
+          Alcotest.test_case "of_array seeds the tail" `Quick
+            test_level_log_of_array;
+          Alcotest.test_case "fetch length mismatch rejected" `Quick
+            test_level_log_fetch_length_mismatch;
+          Alcotest.test_case "negative threshold rejected" `Quick
+            test_level_log_negative_threshold;
+          Alcotest.test_case "empty tail never seals" `Quick
+            test_level_log_empty_tail_never_seals;
         ] );
       ( "jsonout",
         [
