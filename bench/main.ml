@@ -540,6 +540,7 @@ let run_symmetry_scale ~quick ~budget ~mem_budget_mb ~spill_dir
               let sub = String.map (fun c -> if c = '/' then '-' else c) name in
               Asyncolor_resilience.Spill.create
                 ~dir:(Filename.concat spill_dir sub)
+                ()
             in
             let r_spill, dt_spill, peak_spill =
               leg
@@ -637,6 +638,51 @@ let run_symmetry_scale ~quick ~budget ~mem_budget_mb ~spill_dir
   in
   Table.print table;
   records
+
+(* --- chaos-overhead: the injector's cost when armed but silent -------- *)
+
+(* The resilience layer's "free when off" claim, measured: an injector
+   armed at rate 0 draws one Bernoulli per I/O operation and per worker
+   task but never fires, so its cost against a fully disabled run bounds
+   what --chaos plumbing charges the production paths.  The reports must
+   match exactly -- an armed-but-silent injector is invisible on the
+   result (the explore-scale determinism gate, extended to chaos). *)
+type chaos_record = {
+  co_instance : string;
+  co_off_s : float;
+  co_armed_s : float;
+  co_ratio : float;
+}
+
+let run_chaos_overhead ~quick ~budget () =
+  let module Exp = Asyncolor_check.Explorer.Make (Asyncolor.Algorithm2.P) in
+  print_endline
+    "\n=== chaos-overhead: injector armed at rate 0 vs disabled (sync j2) ===";
+  let name, graph, idents =
+    if quick then ("C4/simultaneous", Builders.cycle 4, [| 5; 1; 9; 4 |])
+    else ("C5/simultaneous", Builders.cycle 5, [| 5; 1; 9; 4; 7 |])
+  in
+  let time ~chaos =
+    let t0 = Oclock.monotonic () in
+    let r =
+      Exp.explore ~max_configs:2_000_000 ~jobs:2 ~policy:Executor.Synchronous
+        ?budget ~chaos graph ~idents
+    in
+    (r, Int64.to_float (Int64.sub (Oclock.monotonic ()) t0) /. 1e9)
+  in
+  let r_off, dt_off = time ~chaos:Asyncolor_resilience.Chaos.disabled in
+  let armed = Asyncolor_resilience.Chaos.create ~rate:0.0 ~seed:1 () in
+  let r_armed, dt_armed = time ~chaos:armed in
+  if r_off.complete && r_armed.complete && r_off <> r_armed then
+    failwith "chaos-overhead: armed rate-0 injector changed the report";
+  let st = Asyncolor_resilience.Chaos.stats armed in
+  if st.injected <> 0 then
+    failwith "chaos-overhead: a rate-0 injector delivered a fault";
+  let ratio = dt_armed /. Float.max dt_off 1e-9 in
+  Printf.printf "%s: disabled %.3fs, armed(rate=0) %.3fs, overhead %.2fx\n"
+    name dt_off dt_armed ratio;
+  { co_instance = name; co_off_s = dt_off; co_armed_s = dt_armed;
+    co_ratio = ratio }
 
 (* Runs every benchmark, prints the timing table, and returns the raw
    (name, ns/run, r²) estimates for the --json record. *)
@@ -765,6 +811,9 @@ let () =
         ~quick:(quick && not sym_full)
         ~budget ~mem_budget_mb ~spill_dir ~spill_threshold_words ~obs ~kappa
   in
+  let chaos_records =
+    if no_bench then [] else [ run_chaos_overhead ~quick ~budget () ]
+  in
   let bench_records =
     if no_bench || scale_only then [] else run_benchmarks ()
   in
@@ -822,6 +871,15 @@ let () =
             ("orbit_ratio", J.Float r.sr_orbit_ratio);
           ]
       in
+      let chaos_json (r : chaos_record) =
+        J.Obj
+          [
+            ("instance", J.String r.co_instance);
+            ("seconds_disabled", J.Float r.co_off_s);
+            ("seconds_armed_rate0", J.Float r.co_armed_s);
+            ("overhead_ratio", J.Float r.co_ratio);
+          ]
+      in
       let sym_json (r : sym_record) =
         J.Obj
           [
@@ -861,6 +919,7 @@ let () =
              ("kappa", J.Float kappa);
              ("explore_scale", J.List (List.map scale_json scale_records));
              ("symmetry_scale", J.List (List.map sym_json sym_records));
+             ("chaos_overhead", J.List (List.map chaos_json chaos_records));
              ("benchmarks", J.List (List.map bench_json bench_records));
              ("obs_metrics", obs_metrics);
            ]);

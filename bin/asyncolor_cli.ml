@@ -20,6 +20,7 @@ module Color = Asyncolor.Color
 module Budget = Asyncolor_resilience.Budget
 module Stop = Asyncolor_resilience.Stop
 module Diag = Asyncolor_resilience.Diag
+module Chaos = Asyncolor_resilience.Chaos
 module Checkpoint = Asyncolor_resilience.Checkpoint
 module Fz = Asyncolor_fuzz
 module Obs = Asyncolor_obs.Obs
@@ -290,6 +291,89 @@ let finish_obs obs ~trace_out ~metrics =
    monotonic clock so a suspended or ntp-stepped run can't go negative. *)
 let elapsed_s t0 = Int64.to_float (Int64.sub (Oclock.monotonic ()) t0) /. 1e9
 
+(* --- chaos plumbing (check / lockhunt / fuzz) --------------------------
+
+   The injector is armed from one flag so the CI differential legs can
+   toggle it without touching anything else.  The stats line goes to
+   stderr through [Diag] -- stdout remains the byte-determinism surface,
+   identical with and without faults. *)
+
+let chaos_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chaos" ] ~docv:"seed:N,rate:R"
+        ~doc:
+          "Arm the environment-fault injector: every checkpoint/spill I/O \
+           operation and every executor worker draws a fault with \
+           probability R from a PRNG stream derived from (N, site).  \
+           Schedules are deterministic in the seed, and the report on \
+           stdout stays byte-identical to the fault-free run for any \
+           schedule the $(b,--retry-max) budget survives.")
+
+let retry_max_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "retry-max" ] ~docv:"N"
+        ~doc:
+          "Retries per I/O operation after the first attempt (N+1 attempts \
+           total) before the run truncates cleanly.  Only meaningful with \
+           $(b,--chaos); without it I/O fails fast.")
+
+let backoff_ms_arg =
+  Arg.(
+    value & opt float 50.
+    & info [ "backoff-ms" ] ~docv:"MS"
+        ~doc:
+          "Initial retry backoff in milliseconds, doubling per attempt \
+           (capped at 20xMS).  0 disables the delay -- what the tests and \
+           the CI chaos leg use to stay instant.")
+
+let parse_chaos ~obs = function
+  | None -> Chaos.disabled
+  | Some spec ->
+      let seed = ref None and rate = ref None in
+      List.iter
+        (fun kv ->
+          match String.index_opt kv ':' with
+          | Some i -> (
+              let k = String.sub kv 0 i
+              and v = String.sub kv (i + 1) (String.length kv - i - 1) in
+              match k with
+              | "seed" -> seed := Some (int_of_string v)
+              | "rate" -> rate := Some (float_of_string v)
+              | _ -> failwith (Printf.sprintf "--chaos: unknown key %S" k))
+          | None -> failwith "--chaos expects seed:N,rate:R")
+        (String.split_on_char ',' spec);
+      let seed =
+        match !seed with
+        | Some s -> s
+        | None -> failwith "--chaos: missing seed:N"
+      in
+      let rate =
+        match !rate with
+        | Some r -> r
+        | None -> failwith "--chaos: missing rate:R"
+      in
+      Chaos.create ~obs ~rate ~seed ()
+
+let make_retry ~chaos ~retry_max ~backoff_ms =
+  if Chaos.enabled chaos then
+    Some
+      (Chaos.Retry.cfg
+         ~max_attempts:(max 0 retry_max + 1)
+         ~backoff_ms ~max_backoff_ms:(backoff_ms *. 20.) ())
+  else None
+
+let chaos_stats_line chaos =
+  if Chaos.enabled chaos then begin
+    let { Chaos.injected; retries; quarantined; degraded } =
+      Chaos.stats chaos
+    in
+    Diag.printf "chaos: injected=%d retries=%d quarantined=%d degraded=%d\n"
+      injected retries quarantined degraded
+  end
+
 (* The spill-pressure companion of the configs/sec line: how much of the
    run is frontier-resident on the heap vs spilled to disk, so a
    budget-limited run can tell at a glance whether --spill-dir is doing
@@ -477,9 +561,11 @@ let check_cmd =
   in
   let f alg idents mode max_configs jobs exec_policy kappa ckpt_path ckpt_every
       resume time_s mem_mb kill_after symmetry spill_dir spill_threshold_mb
-      trace_out metrics =
+      chaos_spec retry_max backoff_ms trace_out metrics =
     let obs = make_obs ~trace_out ~metrics in
     let policy = make_policy ~policy:exec_policy ~kappa ~jobs in
+    let chaos = parse_chaos ~obs chaos_spec in
+    let retry = make_retry ~chaos ~retry_max ~backoff_ms in
     let idents = Array.of_list idents in
     let n = Array.length idents in
     if n < 3 then failwith "need at least 3 identifiers";
@@ -491,7 +577,9 @@ let check_cmd =
       Option.map
         (fun dir ->
           (* MB -> machine words (8 bytes each on 64-bit). *)
-          ( Asyncolor_resilience.Spill.create ~dir,
+          ( Asyncolor_resilience.Spill.create ~chaos ?retry
+              ~retain:(if Chaos.enabled chaos then 4 else 0)
+              ~dir (),
             spill_threshold_mb * 1024 * 1024 / 8 ))
         spill_dir
     in
@@ -526,12 +614,12 @@ let check_cmd =
                   info.ri_configs info.ri_pending
                   (Graph.n info.ri_graph);
                 Exp.explore_resume ~jobs ?policy ?checkpoint ?budget ~stop
-                  ?spill ~check_outputs:(coloring_check info.ri_graph) ~obs
-                  path
+                  ?spill ~chaos ?retry
+                  ~check_outputs:(coloring_check info.ri_graph) ~obs path
             | None ->
                 let graph = Builders.cycle n in
                 Exp.explore ~mode ~max_configs ~jobs ?policy ?checkpoint
-                  ?budget ~stop ~symmetry ?spill
+                  ?budget ~stop ~symmetry ?spill ~chaos ?retry
                   ~check_outputs:(coloring_check graph) ~obs graph ~idents)
       in
       let dt = elapsed_s t0 in
@@ -540,6 +628,7 @@ let check_cmd =
         (float_of_int r.configs /. Float.max dt 1e-9)
         jobs;
       Diag.printf "%s\n" (memory_pressure_line ?spill ());
+      chaos_stats_line chaos;
       finish_obs obs ~trace_out ~metrics;
       (match budget with
       | Some b when Budget.exceeded b ->
@@ -568,16 +657,21 @@ let check_cmd =
       const f $ alg_arg $ idents_csv $ mode_arg $ max_configs_arg $ jobs_arg
       $ exec_policy_arg $ kappa_arg $ checkpoint_arg $ checkpoint_every_arg
       $ resume_arg $ time_budget_arg $ mem_budget_arg $ kill_after_arg
-      $ symmetry_arg $ spill_dir_arg $ spill_threshold_mb_arg $ trace_out_arg
-      $ metrics_arg)
+      $ symmetry_arg $ spill_dir_arg $ spill_threshold_mb_arg $ chaos_arg
+      $ retry_max_arg $ backoff_ms_arg $ trace_out_arg $ metrics_arg)
 
 let lockhunt_cmd =
   let doc = "attack every adjacent pair with the isolate-pair schedule (finding F1)" in
-  let f alg n seed idents_kind jobs exec_policy kappa time_s mem_mb trace_out
-      metrics =
+  let f alg n seed idents_kind jobs exec_policy kappa time_s mem_mb chaos_spec
+      retry_max backoff_ms trace_out metrics =
     announce_seed seed;
     let obs = make_obs ~trace_out ~metrics in
     let policy = make_policy ~policy:exec_policy ~kappa ~jobs in
+    let chaos = parse_chaos ~obs chaos_spec in
+    (* lockhunt performs no checkpoint/spill I/O: the retry knobs are
+       accepted for a uniform chaos surface but only worker-crash
+       injection applies. *)
+    ignore (make_retry ~chaos ~retry_max ~backoff_ms);
     let graph = Builders.cycle n in
     let idents = make_idents ~kind:idents_kind ~seed n in
     let budget = make_budget ~time_s ~mem_mb in
@@ -591,8 +685,8 @@ let lockhunt_cmd =
       let t0 = Oclock.monotonic () in
       let findings =
         Stop.with_signals (fun () ->
-            H.hunt ~jobs ?policy ?budget ~stop:Stop.requested ~obs graph
-              ~idents)
+            H.hunt ~jobs ?policy ?budget ~stop:Stop.requested ~chaos ~obs
+              graph ~idents)
       in
       let dt = elapsed_s t0 in
       Diag.printf "%d probes in %.3fs (%.0f probes/sec, jobs=%d)\n"
@@ -600,6 +694,7 @@ let lockhunt_cmd =
         (float_of_int (List.length findings) /. Float.max dt 1e-9)
         jobs;
       Diag.printf "%s\n" (memory_pressure_line ());
+      chaos_stats_line chaos;
       let nedges = List.length (Graph.edges graph) in
       if List.length findings < nedges then
         Printf.printf "hunt cut short: probed %d/%d pairs\n"
@@ -629,7 +724,8 @@ let lockhunt_cmd =
     Term.(
       const f $ alg_arg $ n_arg $ seed_arg $ idents_arg $ jobs_arg
       $ exec_policy_arg $ kappa_arg $ time_budget_arg $ mem_budget_arg
-      $ trace_out_arg $ metrics_arg)
+      $ chaos_arg $ retry_max_arg $ backoff_ms_arg $ trace_out_arg
+      $ metrics_arg)
 
 let fuzz_cmd =
   let doc = "randomized fault-injection fuzzing with replayable, shrunk traces" in
@@ -684,7 +780,8 @@ let fuzz_cmd =
           ~doc:"Write the first finding's shrunk trace to PATH.")
   in
   let f seed execs max_n algos mutant corpus min_out jobs exec_policy kappa
-      time_s mem_mb list_mutants trace_out metrics =
+      time_s mem_mb chaos_spec retry_max backoff_ms list_mutants trace_out
+      metrics =
     if list_mutants then
       List.iter
         (fun (i : Fz.Mutation.info) ->
@@ -706,18 +803,22 @@ let fuzz_cmd =
       let budget = make_budget ~time_s ~mem_mb in
       let obs = make_obs ~trace_out ~metrics in
       let policy = make_policy ~policy:exec_policy ~kappa ~jobs in
+      let chaos = parse_chaos ~obs chaos_spec in
+      (* As for lockhunt: worker-crash injection only. *)
+      ignore (make_retry ~chaos ~retry_max ~backoff_ms);
       let t0 = Oclock.monotonic () in
       let report =
         Stop.with_signals (fun () ->
             Fz.Fuzz.campaign ~jobs ?policy ?budget ~stop:Stop.requested
-              ?corpus_dir:corpus ?mutation:mutant ~algos ~max_n ~obs ~seed
-              ~execs ())
+              ?corpus_dir:corpus ?mutation:mutant ~algos ~max_n ~chaos ~obs
+              ~seed ~execs ())
       in
       let dt = elapsed_s t0 in
       Diag.printf "%d execs in %.3fs (%.0f execs/sec, jobs=%d)\n"
         report.execs_done dt
         (float_of_int report.execs_done /. Float.max dt 1e-9)
         jobs;
+      chaos_stats_line chaos;
       (match budget with
       | Some b when Budget.exceeded b ->
           Diag.printf "budget exceeded (%s): truncated campaign\n"
@@ -763,8 +864,8 @@ let fuzz_cmd =
     Term.(
       const f $ seed_arg $ execs_arg $ max_n_arg $ algos_arg $ mutant_arg
       $ corpus_arg $ min_out_arg $ jobs_arg $ exec_policy_arg $ kappa_arg
-      $ time_budget_arg $ mem_budget_arg $ list_mutants_arg $ trace_out_arg
-      $ metrics_arg)
+      $ time_budget_arg $ mem_budget_arg $ chaos_arg $ retry_max_arg
+      $ backoff_ms_arg $ list_mutants_arg $ trace_out_arg $ metrics_arg)
 
 let replay_cmd =
   let doc = "replay an explicit schedule (e.g. a lasso printed by check) or a fuzz trace" in

@@ -3,6 +3,7 @@ module Ring = Asyncolor_util.Ring
 module Executor = Asyncolor_util.Executor
 module Level_log = Asyncolor_util.Sharded_tbl.Level_log
 module Checkpoint = Asyncolor_resilience.Checkpoint
+module Chaos = Asyncolor_resilience.Chaos
 module Budget = Asyncolor_resilience.Budget
 module Spill = Asyncolor_resilience.Spill
 module Diag = Asyncolor_resilience.Diag
@@ -573,6 +574,8 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
     symmetry : bool;
     group : int array array;  (* singleton identity when symmetry off *)
     spill : (Spill.t * int) option;  (* store, threshold in words *)
+    chaos : Chaos.t;
+    retry : Chaos.Retry.cfg;
     octx : octx;
   }
 
@@ -713,7 +716,8 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
       ~args:[ ("configs", string_of_int st.s_next_id) ]
       "checkpoint.save"
     @@ fun () ->
-    Checkpoint.save ~path ~version:ckpt_version
+    Checkpoint.save_rotated ~chaos:params.chaos ~retry:params.retry ~path
+      ~version:ckpt_version
       {
         ck_protocol = P.name;
         ck_graph = graph;
@@ -785,27 +789,51 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
     if !ticks land 1023 = 0 && Obs.enabled params.octx.o then
       Obs.Gauge.max_ params.octx.og_heap (Gc.quick_stat ()).Gc.heap_words
 
+  (* A persistent I/O failure — a checkpoint save or spill write that
+     exhausted its retry budget — ends the run the way a spent budget
+     does: cleanly, with a truncated [complete = false] report.  Never an
+     exception up through the analysis phase, and never a corrupt file
+     left as last-good (save_rotated guarantees the latter). *)
+  let note_io_error io_error what e =
+    if !io_error = None then begin
+      io_error := Some what;
+      Diag.printf "io: %s failed permanently (%s); truncating run\n" what
+        (Printexc.to_string e)
+    end
+
+  let io_failed = function
+    | Chaos.Retry.Exhausted _ | Chaos.Injected _ | Checkpoint.Corrupt _ ->
+        true
+    | _ -> false
+
   let run_seq ~params ~graph ~idents st tbl queue =
     let engine = E.create graph ~idents in
     let last_ck = ref st.s_next_id in
     let ticks = ref 0 in
+    let io_error = ref None in
     let maybe_checkpoint ~force () =
       match params.checkpoint with
-      | Some (path, every) when force || st.s_next_id - !last_ck >= max 1 every
-        ->
-          save_ckpt ~params ~graph ~idents st
-            ~keys:(fun () -> keys_of_key_tbl tbl st.s_next_id)
-            ~pending:(fun () -> Array.of_seq (Queue.to_seq queue))
-            path;
-          last_ck := st.s_next_id;
-          Diag.printf "checkpoint: %d configs, %d pending -> %s\n" st.s_next_id
-            (Queue.length queue) path
+      | Some (path, every)
+        when (force || st.s_next_id - !last_ck >= max 1 every)
+             && !io_error = None -> (
+          match
+            save_ckpt ~params ~graph ~idents st
+              ~keys:(fun () -> keys_of_key_tbl tbl st.s_next_id)
+              ~pending:(fun () -> Array.of_seq (Queue.to_seq queue))
+              path
+          with
+          | () ->
+              last_ck := st.s_next_id;
+              Diag.printf "checkpoint: %d configs, %d pending -> %s\n"
+                st.s_next_id (Queue.length queue) path
+          | exception e when io_failed e ->
+              note_io_error io_error "checkpoint save" e)
       | _ -> ()
     in
     let stopped = ref false in
     while (not (Queue.is_empty queue)) && not !stopped do
       maybe_checkpoint ~force:false ();
-      if should_stop ~params st then stopped := true
+      if should_stop ~params st || !io_error <> None then stopped := true
       else begin
         let uid, config = Queue.pop queue in
         let orbit_u =
@@ -851,10 +879,15 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
             else st.s_complete <- false)
           masks;
         Vec.push st.s_adj_off (Level_log.length st.s_adj_data);
-        maybe_seal ~params st (fun level data ->
-            match params.spill with
-            | Some (sp, _) -> spill_write ~params sp level data
-            | None -> ());
+        (* A write that exhausts its retries stops the run at the next
+           boundary; the level's data stays resident in the spill store,
+           so the analysis reassembly below still sees every word. *)
+        (try
+           maybe_seal ~params st (fun level data ->
+               match params.spill with
+               | Some (sp, _) -> spill_write ~params sp level data
+               | None -> ())
+         with e when io_failed e -> note_io_error io_error "spill write" e);
         sample_heap ~params ticks
       end
     done;
@@ -868,6 +901,7 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
         (fun _ -> Vec.push st.s_adj_off (Level_log.length st.s_adj_data))
         queue
     end;
+    if !io_error <> None then st.s_complete <- false;
     packed_of_state ~params st
 
   let spill_threshold_of params = Option.map snd params.spill
@@ -971,33 +1005,62 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
     in
     (* In-flight background spill writes: drained before any checkpoint
        save (which rereads closed levels) and before the final analysis
-       reassembly. *)
+       reassembly.  A background write failure is latched into
+       [spill_err] — lowest level wins, for a deterministic diagnostic —
+       and surfaces at the next merge boundary (satellite contract: the
+       run fails at the faulting seal, not at reassembly time). *)
     let spill_futs : unit Executor.future list ref = ref [] in
+    let spill_err : (int * exn) option Atomic.t = Atomic.make None in
+    let note_spill_err level e =
+      let rec latch () =
+        match Atomic.get spill_err with
+        | Some (l, _) when l <= level -> ()
+        | cur ->
+            if not (Atomic.compare_and_set spill_err cur (Some (level, e)))
+            then latch ()
+      in
+      latch ()
+    in
     let drain_spills () =
       List.iter Executor.await !spill_futs;
       spill_futs := []
+    in
+    let io_error = ref None in
+    let check_spill_err () =
+      match Atomic.get spill_err with
+      | Some (level, e) ->
+          note_io_error io_error
+            (Printf.sprintf "spill write (level %d)" level)
+            e
+      | None -> ()
     in
     let last_ck = ref st.s_next_id in
     let ticks = ref 0 in
     let maybe_checkpoint ~force () =
       match params.checkpoint with
-      | Some (path, every) when force || st.s_next_id - !last_ck >= max 1 every
-        ->
+      | Some (path, every)
+        when (force || st.s_next_id - !last_ck >= max 1 every)
+             && !io_error = None -> (
           drain_spills ();
-          save_ckpt ~params ~graph ~idents st
-            ~keys:(fun () -> keys_of_key_tbl tbl st.s_next_id)
-            ~pending:(fun () ->
-              Array.init (Ring.length pend) (fun i ->
-                  let p = Ring.lo pend + i in
-                  (p, Ring.get pend p)))
-            path;
-          last_ck := st.s_next_id;
-          Diag.printf "checkpoint: %d configs, %d pending -> %s\n" st.s_next_id
-            (Ring.length pend) path
+          check_spill_err ();
+          if !io_error = None then
+            match
+              save_ckpt ~params ~graph ~idents st
+                ~keys:(fun () -> keys_of_key_tbl tbl st.s_next_id)
+                ~pending:(fun () ->
+                  Array.init (Ring.length pend) (fun i ->
+                      let p = Ring.lo pend + i in
+                      (p, Ring.get pend p)))
+                path
+            with
+            | () ->
+                last_ck := st.s_next_id;
+                Diag.printf "checkpoint: %d configs, %d pending -> %s\n"
+                  st.s_next_id (Ring.length pend) path
+            | exception e when io_failed e ->
+                note_io_error io_error "checkpoint save" e)
       | _ -> ()
     in
-    let window = Executor.stream_window exec in
-    let kappa = Executor.policy_kappa (Executor.policy exec) in
     (* Futures for submitted-but-unmerged entries, same absolute
        positions as [pend]. *)
     let futs :
@@ -1044,8 +1107,14 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
         sp_level := open_level ()
       end;
       maybe_checkpoint ~force:false ();
-      if should_stop ~params st then stopped := true
+      check_spill_err ();
+      if should_stop ~params st || !io_error <> None then stopped := true
       else begin
+        (* Re-read the window and κ every iteration: the watchdog may
+           have degraded the policy since the last merge, and a degraded
+           executor wants the tighter bound immediately. *)
+        let window = Executor.stream_window exec in
+        let kappa = Executor.policy_kappa (Executor.policy exec) in
         (* Top up the pipeline.  A position inside the current level is
            always submittable (window permitting); one past it only once
            a κ fraction of the level has merged. *)
@@ -1123,7 +1192,8 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
             | Some (sp, _) ->
                 spill_futs :=
                   Executor.submit exec (fun () ->
-                      spill_write ~params sp level data)
+                      try spill_write ~params sp level data
+                      with e when io_failed e -> note_spill_err level e)
                   :: !spill_futs
             | None -> ());
         sample_heap ~params ticks;
@@ -1146,6 +1216,8 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
       done
     end;
     drain_spills ();
+    check_spill_err ();
+    if !io_error <> None then st.s_complete <- false;
     packed_of_state ~params st
 
   let explore_async ~params ~policy ~jobs graph ~idents =
@@ -1159,12 +1231,22 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
     safety_check ~params st engine root_id initial;
     let pend = Ring.create ~dummy:initial () in
     Ring.push pend initial;
-    Executor.with_executor ~obs:params.octx.o ~policy ~jobs (fun exec ->
-        run_async ~params ~exec ~graph ~idents st tbl pend)
+    Executor.with_executor ~obs:params.octx.o ~chaos:params.chaos ~policy ~jobs
+      (fun exec -> run_async ~params ~exec ~graph ~idents st tbl pend)
+
+  (* Callers that opt into chaos get the retry budget by default; without
+     chaos (and without an explicit [retry]) every I/O primitive keeps its
+     single-attempt fail-fast behaviour. *)
+  let resolve_retry ~chaos retry =
+    match retry with
+    | Some r -> r
+    | None ->
+        if Chaos.enabled chaos then Chaos.Retry.default else Chaos.Retry.none
 
   let explore ?(max_configs = 500_000) ?(max_violations = 5)
       ?(mode = `All_subsets) ?(impl = `Hashcons) ?(jobs = 1) ?policy
-      ?checkpoint ?budget ?stop ?(symmetry = false) ?spill ?check_outputs
+      ?checkpoint ?budget ?stop ?(symmetry = false) ?spill
+      ?(chaos = Chaos.disabled) ?retry ?check_outputs
       ?check_config ?(obs = Obs.disabled) graph ~idents =
     let n = Asyncolor_topology.Graph.n graph in
     if n > Sys.int_size - 1 then
@@ -1177,15 +1259,21 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
           if
             Option.is_some checkpoint || Option.is_some budget
             || Option.is_some stop || Option.is_some policy || symmetry
-            || Option.is_some spill
+            || Option.is_some spill || Chaos.enabled chaos
           then
             invalid_arg
               "Explorer.explore: the `Reference oracle supports neither \
                checkpoints, budgets, stop callbacks, execution policies, \
-               symmetry reduction nor spilling (use `Hashcons)";
+               symmetry reduction, spilling nor fault injection (use \
+               `Hashcons)";
           explore_reference ~max_configs ~max_violations ~mode ~check_outputs
             ~check_config graph ~idents
       | `Hashcons ->
+          (* A killed predecessor may have left [path ^ ".tmp"] between
+             write and rename; sweep it before the first save. *)
+          Option.iter
+            (fun (path, _) -> ignore (Checkpoint.clean_stale ~path))
+            checkpoint;
           let params =
             {
               mode;
@@ -1199,6 +1287,8 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
               symmetry;
               group = symmetry_group ~symmetry graph ~idents;
               spill;
+              chaos;
+              retry = resolve_retry ~chaos retry;
               octx;
             }
           in
@@ -1226,8 +1316,10 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
     ri_pending : int;
   }
 
-  let load_ckpt path =
-    let (c : ckpt) = Checkpoint.load ~path ~version:ckpt_version in
+  let load_ckpt ?(chaos = Chaos.disabled) ?retry path =
+    let (c : ckpt) =
+      Checkpoint.load_rotated ~chaos ?retry ~path ~version:ckpt_version ()
+    in
     if c.ck_protocol <> P.name then
       raise
         (Checkpoint.Corrupt
@@ -1267,9 +1359,19 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
     }
 
   let explore_resume ?(jobs = 1) ?policy ?checkpoint ?budget ?stop ?spill
-      ?check_outputs ?check_config ?(obs = Obs.disabled) path =
+      ?(chaos = Chaos.disabled) ?retry ?check_outputs ?check_config
+      ?(obs = Obs.disabled) path =
     let octx = make_octx obs in
-    let c = Obs.span obs "checkpoint.load" (fun () -> load_ckpt path) in
+    let retry = resolve_retry ~chaos retry in
+    (* The process being resumed may have died mid-save: sweep its stale
+       tmp (and any at the new checkpoint target) before touching disk. *)
+    ignore (Checkpoint.clean_stale ~path);
+    Option.iter
+      (fun (p, _) -> ignore (Checkpoint.clean_stale ~path:p))
+      checkpoint;
+    let c =
+      Obs.span obs "checkpoint.load" (fun () -> load_ckpt ~chaos ~retry path)
+    in
     let graph = c.ck_graph and idents = c.ck_idents in
     let n = Asyncolor_topology.Graph.n graph in
     let params =
@@ -1288,6 +1390,8 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
         symmetry = c.ck_symmetry;
         group = symmetry_group ~symmetry:c.ck_symmetry graph ~idents;
         spill;
+        chaos;
+        retry;
         octx;
       }
     in
@@ -1321,7 +1425,7 @@ module Make (P : Asyncolor_kernel.Protocol.S) = struct
           in
           let pend = Ring.create ~start ~dummy () in
           Array.iter (fun (_, cfg) -> Ring.push pend cfg) c.ck_pending;
-          Executor.with_executor ~obs ~policy ~jobs (fun exec ->
+          Executor.with_executor ~obs ~chaos ~policy ~jobs (fun exec ->
               run_async ~params ~exec ~graph ~idents st tbl pend)
     in
     finish_report ~octx ~n packed

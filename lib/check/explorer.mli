@@ -135,6 +135,8 @@ module Make (P : Asyncolor_kernel.Protocol.S) : sig
     ?stop:(configs:int -> bool) ->
     ?symmetry:bool ->
     ?spill:Asyncolor_resilience.Spill.t * int ->
+    ?chaos:Asyncolor_resilience.Chaos.t ->
+    ?retry:Asyncolor_resilience.Chaos.Retry.cfg ->
     ?check_outputs:(P.output option array -> string option) ->
     ?check_config:(E.t -> string option) ->
     ?obs:Asyncolor_obs.Obs.t ->
@@ -267,6 +269,26 @@ module Make (P : Asyncolor_kernel.Protocol.S) : sig
       stay 0 — so differential tests compare protocol behaviour, not
       plumbing.
 
+      {b Fault injection and recovery} ([chaos] / [retry]; [`Hashcons]
+      only).  An enabled {!Asyncolor_resilience.Chaos} instance injects
+      environment faults into every I/O edge of the run — checkpoint
+      saves/loads (sites ["checkpoint.*"]), spill writes/reads (sites
+      ["spill.*"]) and worker domains (sites ["exec.worker-N"], injected
+      crashes recovered by the executor's watchdog).  Checkpoint saves go
+      through {!Asyncolor_resilience.Checkpoint.save_rotated} (retry
+      budget, read-back verify, last-good rotation); spill failures are
+      retried and rebuilt from memory where resident.  [retry] defaults
+      to {!Asyncolor_resilience.Chaos.Retry.default} when chaos is
+      enabled and to a single fail-fast attempt otherwise.  Because
+      recovery is deterministic (per-site fault schedules, FIFO merge),
+      the report stays {e byte-identical to the fault-free run} for any
+      schedule the retry budget survives.  When a budget is exhausted the
+      run truncates cleanly instead of crashing: exploration stops at the
+      failing merge boundary, the last-good checkpoint is left intact,
+      and the report is a well-formed truncation with [complete = false]
+      (the failure reason goes to the diagnostic stream only, never
+      stdout).
+
       @raise Invalid_argument when the graph has more than
       [Sys.int_size - 1] nodes (activation masks could not name every
       process). *)
@@ -308,6 +330,8 @@ module Make (P : Asyncolor_kernel.Protocol.S) : sig
     ?budget:Asyncolor_resilience.Budget.t ->
     ?stop:(configs:int -> bool) ->
     ?spill:Asyncolor_resilience.Spill.t * int ->
+    ?chaos:Asyncolor_resilience.Chaos.t ->
+    ?retry:Asyncolor_resilience.Chaos.Retry.cfg ->
     ?check_outputs:(P.output option array -> string option) ->
     ?check_config:(E.t -> string option) ->
     ?obs:Asyncolor_obs.Obs.t ->
@@ -330,7 +354,12 @@ module Make (P : Asyncolor_kernel.Protocol.S) : sig
       resume; [spill] may be freshly supplied — checkpoints are
       self-contained (the adjacency stream is reassembled into the file at
       save time), so a resumed run re-spills into its own directory as
-      levels close.
+      levels close.  [chaos]/[retry] behave as in {!explore}; the resume
+      load itself goes through
+      {!Asyncolor_resilience.Checkpoint.load_rotated}, so a corrupt
+      primary is quarantined and the previous rotation resumed instead.
+      Stale [.tmp] files left by a killed predecessor (at [path] and at
+      the new checkpoint target) are swept before any I/O.
       @raise Asyncolor_resilience.Checkpoint.Corrupt as {!resume_info}. *)
 
   val pp_report : Format.formatter -> report -> unit

@@ -18,7 +18,7 @@ let fingerprint = "asyncolor-fuzz-trace"
 let save ~path t = Checkpoint.save ~path ~version (fingerprint, t)
 
 let load path =
-  let tag, (t : t) = Checkpoint.load ~path ~version in
+  let tag, (t : t) = Checkpoint.load ~path ~version () in
   if tag <> fingerprint then
     raise
       (Checkpoint.Corrupt

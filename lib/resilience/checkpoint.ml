@@ -6,77 +6,182 @@ let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
 let magic = "asyncolor-ckpt\x00\x00"
 let container_format = 1
 
-let write_be32 oc v =
-  output_byte oc ((v lsr 24) land 0xff);
-  output_byte oc ((v lsr 16) land 0xff);
-  output_byte oc ((v lsr 8) land 0xff);
-  output_byte oc (v land 0xff)
+let buf_be32 b v =
+  Buffer.add_char b (Char.chr ((v lsr 24) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (v land 0xff))
 
-let write_be64 oc v =
-  write_be32 oc ((v lsr 32) land 0xffffffff);
-  write_be32 oc (v land 0xffffffff)
+let buf_be64 b v =
+  buf_be32 b ((v lsr 32) land 0xffffffff);
+  buf_be32 b (v land 0xffffffff)
 
-let read_exactly ic n what =
-  let b = Bytes.create n in
-  (try really_input ic b 0 n
-   with End_of_file -> corrupt "truncated file while reading %s" what);
-  b
+(* The container is built in memory and written in one call so the write
+   can be routed through the injectable filesystem (Chaos.write_file):
+   fault injection then sees the write as one operation of the site's
+   schedule, and a partial/torn write truncates the container exactly
+   like a real crash would. *)
+let container_bytes ~version payload =
+  let b = Buffer.create (Bytes.length payload + 48) in
+  Buffer.add_string b magic;
+  buf_be32 b container_format;
+  buf_be32 b version;
+  buf_be64 b (Bytes.length payload);
+  Buffer.add_string b (Digest.bytes payload);
+  Buffer.add_bytes b payload;
+  Buffer.to_bytes b
 
-let read_be32 ic what =
-  let b = read_exactly ic 4 what in
-  (Char.code (Bytes.get b 0) lsl 24)
-  lor (Char.code (Bytes.get b 1) lsl 16)
-  lor (Char.code (Bytes.get b 2) lsl 8)
-  lor Char.code (Bytes.get b 3)
+let parse ~version data =
+  let pos = ref 0 in
+  let take n what =
+    if !pos + n > Bytes.length data then
+      corrupt "truncated file while reading %s" what;
+    let b = Bytes.sub data !pos n in
+    pos := !pos + n;
+    b
+  in
+  let be32 what =
+    let b = take 4 what in
+    (Char.code (Bytes.get b 0) lsl 24)
+    lor (Char.code (Bytes.get b 1) lsl 16)
+    lor (Char.code (Bytes.get b 2) lsl 8)
+    lor Char.code (Bytes.get b 3)
+  in
+  let m = Bytes.to_string (take (String.length magic) "magic") in
+  if m <> magic then corrupt "bad magic: not an asyncolor checkpoint";
+  let fmt = be32 "container format" in
+  if fmt <> container_format then
+    corrupt "container format %d (this build reads %d)" fmt container_format;
+  let ver = be32 "payload version" in
+  if ver <> version then
+    corrupt "payload version %d, expected %d (stale checkpoint?)" ver version;
+  let hi = be32 "payload length" in
+  let lo = be32 "payload length" in
+  let len = (hi lsl 32) lor lo in
+  if len < 0 then corrupt "negative payload length";
+  let digest = Bytes.to_string (take 16 "digest") in
+  let payload = take len "payload" in
+  if Digest.bytes payload <> digest then
+    corrupt "digest mismatch: payload corrupted";
+  match Marshal.from_bytes payload 0 with
+  | v -> v
+  | exception _ -> corrupt "payload does not unmarshal"
 
-let read_be64 ic what =
-  let hi = read_be32 ic what in
-  let lo = read_be32 ic what in
-  (hi lsl 32) lor lo
+(* Write the container to [path ^ ".tmp"]; under chaos, read it back and
+   compare — a Torn_write is silent, and without this verify the rename
+   below would install a corrupt file as the last-good checkpoint. *)
+let write_tmp ~chaos ~site ~tmp data =
+  Chaos.write_file chaos ~site:(site ^ ".write") tmp data;
+  if Chaos.enabled chaos then begin
+    let back =
+      try Chaos.read_raw tmp
+      with Sys_error msg -> corrupt "verify after save failed: %s" msg
+    in
+    if not (Bytes.equal back data) then
+      corrupt "torn write detected verifying %s" tmp
+  end
 
-let save ~path ~version v =
-  let payload = Marshal.to_bytes v [] in
+let save ?(chaos = Chaos.disabled) ?(site = "checkpoint") ~path ~version v =
+  let data = container_bytes ~version (Marshal.to_bytes v []) in
   let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      output_string oc magic;
-      write_be32 oc container_format;
-      write_be32 oc version;
-      write_be64 oc (Bytes.length payload);
-      Digest.output oc (Digest.bytes payload);
-      output_bytes oc payload;
-      flush oc;
-      (* fsync before rename: the rename must never become durable ahead of
-         the data it points at *)
-      Unix.fsync (Unix.descr_of_out_channel oc));
+  write_tmp ~chaos ~site ~tmp data;
+  (* fsync happened before the rename: the rename must never become
+     durable ahead of the data it points at *)
   Sys.rename tmp path
 
-let load ~path ~version =
-  let ic =
-    try open_in_bin path
+let load ?(chaos = Chaos.disabled) ?(site = "checkpoint") ~path ~version () =
+  let data =
+    try Chaos.read_file chaos ~site:(site ^ ".read") path
     with Sys_error msg -> corrupt "cannot open checkpoint: %s" msg
   in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let m = Bytes.to_string (read_exactly ic (String.length magic) "magic") in
-      if m <> magic then corrupt "bad magic: not an asyncolor checkpoint";
-      let fmt = read_be32 ic "container format" in
-      if fmt <> container_format then
-        corrupt "container format %d (this build reads %d)" fmt container_format;
-      let ver = read_be32 ic "payload version" in
-      if ver <> version then
-        corrupt "payload version %d, expected %d (stale checkpoint?)" ver version;
-      let len = read_be64 ic "payload length" in
-      if len < 0 then corrupt "negative payload length";
-      let digest =
-        try Digest.input ic with End_of_file -> corrupt "truncated digest"
+  parse ~version data
+
+(* ------------------------------------------------------------------ *)
+(* Rotation, quarantine, stale-tmp hygiene                             *)
+
+let rotated_path path = path ^ ".1"
+let quarantine_dir ~path = Filename.concat (Filename.dirname path) "quarantine"
+
+let quarantine ?(chaos = Chaos.disabled) path =
+  if Sys.file_exists path then begin
+    let dir = quarantine_dir ~path in
+    (try if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+     with Unix.Unix_error _ -> ());
+    let base = Filename.basename path in
+    let rec fresh k =
+      let d =
+        Filename.concat dir
+          (if k = 0 then base else Printf.sprintf "%s.%d" base k)
       in
-      let payload = read_exactly ic len "payload" in
-      if Digest.bytes payload <> digest then
-        corrupt "digest mismatch: payload corrupted";
-      match Marshal.from_bytes payload 0 with
-      | v -> v
-      | exception _ -> corrupt "payload does not unmarshal")
+      if Sys.file_exists d then fresh (k + 1) else d
+    in
+    let dest = fresh 0 in
+    try
+      Sys.rename path dest;
+      Chaos.note_quarantine chaos;
+      Some dest
+    with Sys_error _ -> None
+  end
+  else None
+
+let clean_stale ~path =
+  let tmp = path ^ ".tmp" in
+  if Sys.file_exists tmp then (
+    try
+      Sys.remove tmp;
+      true
+    with Sys_error _ -> false)
+  else false
+
+let retry_corrupt = function Corrupt _ -> true | _ -> false
+
+(* When chaos is off and the caller didn't ask for retries, behave
+   exactly like the primitive save/load: one attempt, fail fast. *)
+let resolve_retry ~chaos = function
+  | Some r -> r
+  | None -> if Chaos.enabled chaos then Chaos.Retry.default else Chaos.Retry.none
+
+let save_rotated ?(chaos = Chaos.disabled) ?retry ?(site = "checkpoint") ~path
+    ~version v =
+  let retry = resolve_retry ~chaos retry in
+  let data = container_bytes ~version (Marshal.to_bytes v []) in
+  let tmp = path ^ ".tmp" in
+  (try
+     Chaos.Retry.run chaos retry ~retry_on:retry_corrupt ~site:(site ^ ".save")
+       (fun () -> write_tmp ~chaos ~site ~tmp data)
+   with e ->
+     (* Exhausted (or non-retryable): never leave a half-written tmp
+        around for a later resume to trip over. *)
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  if Sys.file_exists path then (
+    try Sys.rename path (rotated_path path) with Sys_error _ -> ());
+  Sys.rename tmp path
+
+(* Normalise an Exhausted wrapping a Corrupt back to the Corrupt: callers
+   pattern-match on Corrupt for their "stale/foreign checkpoint" paths. *)
+let unwrap_corrupt = function
+  | Chaos.Retry.Exhausted { last = Corrupt _ as c; _ } -> c
+  | e -> e
+
+let load_rotated ?(chaos = Chaos.disabled) ?retry ?(site = "checkpoint") ~path
+    ~version () =
+  let retry = resolve_retry ~chaos retry in
+  let attempt p =
+    Chaos.Retry.run chaos retry ~retry_on:retry_corrupt ~site:(site ^ ".load")
+      (fun () -> load ~chaos ~site ~path:p ~version ())
+  in
+  try attempt path
+  with (Corrupt _ | Chaos.Retry.Exhausted _) as first -> (
+    (* The primary is unreadable: move it aside as evidence and fall back
+       to the previous rotation rather than aborting the resume. *)
+    (match quarantine ~chaos path with
+    | Some dest ->
+        Diag.printf "checkpoint: quarantined corrupt %s -> %s\n" path dest
+    | None -> ());
+    match attempt (rotated_path path) with
+    | v ->
+        Diag.printf "checkpoint: resumed from rotation %s\n" (rotated_path path);
+        v
+    | exception (Corrupt _ | Chaos.Retry.Exhausted _) ->
+        raise (unwrap_corrupt first))

@@ -20,6 +20,19 @@
     and digest before unmarshalling, so a corrupt or truncated file
     surfaces as {!Corrupt}, not as a segfault or a garbage value.
 
+    {b Fault injection.}  All I/O goes through
+    {!Asyncolor_resilience.Chaos}'s injectable filesystem: pass [?chaos]
+    to exercise ENOSPC/EIO/torn-write/fsync-failure/bit-rot schedules.
+    When chaos is enabled, {!save} additionally {e verifies} the written
+    tmp file by reading it back before the rename — a silently torn write
+    must never be installed as the last-good checkpoint.
+
+    {b Rotation.}  {!save_rotated}/{!load_rotated} add a one-deep history:
+    the previous checkpoint survives at [path ^ ".1"], saves retry under a
+    {!Chaos.Retry} budget, and a corrupt primary is {e quarantined} (moved
+    to [quarantine/] next to the checkpoint) with the load falling back to
+    the rotation instead of aborting.
+
     {b Versioning rules.}  The payload is serialised with [Marshal], so its
     schema is the OCaml type of the saved value.  Callers must bump their
     [version] whenever that type (or the meaning of any field) changes;
@@ -36,10 +49,67 @@ exception Corrupt of string
 (** The file is unreadable, truncated, fails its digest, or carries an
     unexpected magic/version.  The message says which check failed. *)
 
-val save : path:string -> version:int -> 'a -> unit
+val save :
+  ?chaos:Chaos.t -> ?site:string -> path:string -> version:int -> 'a -> unit
 (** [save ~path ~version v] marshals [v] and atomically replaces [path]
-    (write to [path ^ ".tmp"], fsync, rename). *)
+    (write to [path ^ ".tmp"], fsync, rename).  [site] (default
+    ["checkpoint"]) names the chaos fault site; the write draws from
+    [site ^ ".write"].  Under chaos the tmp file is verified by read-back
+    before the rename.
+    @raise Chaos.Injected when an injected fault fires (single attempt —
+    wrap in {!Chaos.Retry.run} or use {!save_rotated} for recovery). *)
 
-val load : path:string -> version:int -> 'a
+val load :
+  ?chaos:Chaos.t -> ?site:string -> path:string -> version:int -> unit -> 'a
 (** [load ~path ~version] validates the container and returns the payload.
+    Reads draw faults from [site ^ ".read"].
     @raise Corrupt on any validation failure (missing file included). *)
+
+(** {1 Rotation, quarantine, hygiene} *)
+
+val rotated_path : string -> string
+(** [path ^ ".1"] — where {!save_rotated} keeps the previous snapshot. *)
+
+val quarantine_dir : path:string -> string
+(** [quarantine/] in the checkpoint's directory. *)
+
+val quarantine : ?chaos:Chaos.t -> string -> string option
+(** Move a (presumed corrupt) file into {!quarantine_dir}, never
+    overwriting earlier evidence (suffixes [.1], [.2], … on collision).
+    Returns the destination, or [None] if the file is missing or the move
+    failed.  Counts on [chaos.quarantined]. *)
+
+val clean_stale : path:string -> bool
+(** Remove the stale [path ^ ".tmp"] a killed process may have left
+    behind between write and rename; [true] if one was removed.  Called
+    on explorer startup and resume. *)
+
+val save_rotated :
+  ?chaos:Chaos.t ->
+  ?retry:Chaos.Retry.cfg ->
+  ?site:string ->
+  path:string ->
+  version:int ->
+  'a ->
+  unit
+(** {!save} with a retry budget and last-good rotation: the tmp write
+    (with its read-back verify) retries under [retry], then the previous
+    [path] is renamed to [path ^ ".1"] and the new file installed.  On
+    exhaustion the half-written tmp is removed — the last-good checkpoint
+    and its rotation are both still intact.  [retry] defaults to
+    {!Chaos.Retry.default} when chaos is enabled and to a single attempt
+    otherwise.
+    @raise Chaos.Retry.Exhausted when the budget is spent. *)
+
+val load_rotated :
+  ?chaos:Chaos.t ->
+  ?retry:Chaos.Retry.cfg ->
+  ?site:string ->
+  path:string ->
+  version:int ->
+  unit ->
+  'a
+(** {!load} with recovery: reads retry under [retry]; a persistently
+    unreadable primary is {e quarantined} and the load falls back to
+    [path ^ ".1"].
+    @raise Corrupt only when both generations are unreadable. *)

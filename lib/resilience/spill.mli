@@ -7,11 +7,20 @@
     atomic tmp+fsync+rename write, MD5-checksummed payload), whose payload
     is the level's word array {e delta-encoded} (first word verbatim, then
     successive differences — adjacency streams are near-monotone, so the
-    deltas marshal to 1–2 bytes instead of 8).  Corruption therefore
-    surfaces exactly like checkpoint corruption: {!Checkpoint.Corrupt} —
-    with the offending {e file path} prefixed onto the message, since a
-    run can own many level files and the caller needs to know which one
-    to delete.
+    deltas marshal to 1–2 bytes instead of 8).
+
+    {b Failure handling.}  [Level_log.seal] drops a level from the heap
+    {e before} its write runs, so a lost write would otherwise lose the
+    level.  The store therefore (a) retries writes and reads under a
+    {!Chaos.Retry} budget, (b) keeps the data of any write that exhausted
+    its budget resident in memory (plus, with [retain > 0], the last N
+    successful levels as a bit-rot hedge), and (c) on an unreadable file
+    whose level is still resident, {e quarantines} the damaged file into
+    [quarantine/] and rebuilds it from memory instead of aborting.  Only
+    a level that is both unreadable and no longer resident surfaces as
+    {!Checkpoint.Corrupt} — with the offending {e file path} prefixed
+    onto the message, since a run can own many level files and the caller
+    needs to know which one to inspect.
 
     Byte counters are atomics: {!write} may run on a background executor
     task while the merge thread keeps interning, and the CLI reads the
@@ -19,8 +28,18 @@
 
 type t
 
-val create : dir:string -> t
-(** Open (creating if needed) the spill directory.
+val create :
+  ?chaos:Chaos.t ->
+  ?retry:Chaos.Retry.cfg ->
+  ?retain:int ->
+  dir:string ->
+  unit ->
+  t
+(** Open (creating if needed) the spill directory.  [chaos] (default
+    {!Chaos.disabled}) injects faults at sites ["spill.write"] /
+    ["spill.read"]; [retry] defaults to {!Chaos.Retry.default} when chaos
+    is enabled, single-attempt otherwise; [retain] (default 0) keeps the
+    last N successfully written levels resident for rebuilds.
     @raise Invalid_argument if [dir] exists and is not a directory;
     @raise Unix.Unix_error if it cannot be created. *)
 
@@ -31,15 +50,21 @@ val path : t -> level:int -> string
     under the store's directory). *)
 
 val write : t -> level:int -> int array -> int
-(** Delta-encode and persist one closed level, atomically; returns the
-    container size in bytes.  Levels are written at most once per run
-    (level indices come from [Level_log.seal], which assigns them
-    sequentially). *)
+(** Delta-encode and persist one closed level, atomically, retrying
+    under the store's budget; returns the container size in bytes.
+    Levels are written at most once per run (level indices come from
+    [Level_log.seal], which assigns them sequentially).
+    @raise Chaos.Retry.Exhausted when the budget is spent — the level's
+    data stays resident in the store, so a later {!read} still succeeds
+    by rebuilding. *)
 
 val read : t -> level:int -> int array
-(** Load and decode a level.
+(** Load and decode a level, retrying under the store's budget; falls
+    back to the resident copy (quarantining and rewriting the on-disk
+    file) when the file is unreadable but the level is still in memory.
     @raise Checkpoint.Corrupt — message prefixed with the file path — on
-    a missing, truncated, bit-flipped or version-skewed file. *)
+    a missing, truncated, bit-flipped or version-skewed file whose level
+    is no longer resident. *)
 
 val bytes_written : t -> int
 val bytes_read : t -> int
@@ -47,6 +72,12 @@ val bytes_read : t -> int
 val levels_on_disk : t -> int
 (** Number of levels written through this store. *)
 
+val quarantined : t -> int
+(** Damaged level files moved into [quarantine/] by {!read}. *)
+
+val rebuilt : t -> int
+(** Levels served from the resident copy after an unreadable file. *)
+
 val files : t -> string list
 (** The [.spill] files currently in the directory, sorted — what the CI
-    artifact step lists. *)
+    artifact step lists (the [quarantine/] subdirectory is not listed). *)

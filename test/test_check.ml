@@ -465,8 +465,8 @@ let test_reference_rejects_crash_options () =
   let expected =
     Invalid_argument
       "Explorer.explore: the `Reference oracle supports neither checkpoints, \
-       budgets, stop callbacks, execution policies, symmetry reduction nor \
-       spilling (use `Hashcons)"
+       budgets, stop callbacks, execution policies, symmetry reduction, \
+       spilling nor fault injection (use `Hashcons)"
   in
   Alcotest.check_raises "reference oracle has no checkpoint support" expected
     (fun () ->
@@ -494,6 +494,119 @@ let test_lockhunt_budget_truncates () =
   let some = H.hunt ~stop:(fun () -> incr n; !n > 5) g ~idents in
   check Alcotest.bool "stop callback cuts the hunt short" true
     (List.length some < 16 && List.length some > 0)
+
+(* --- chaos: injected faults are invisible in the report ---------------- *)
+
+module Chaos = Asyncolor_resilience.Chaos
+module Spill = Asyncolor_resilience.Spill
+module Exec = Asyncolor_util.Executor
+
+(* Recovery paths leave quarantine/ subdirectories behind. *)
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "asyncolor-chaos" ".d" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () -> f dir)
+
+(* Generous attempt budget, injectable sleep: retries are instant and the
+   odds of 12 consecutive rate-0.1 faults at one site are negligible. *)
+let instant_retry = Chaos.Retry.cfg ~max_attempts:12 ~sleep:(fun _ -> ()) ()
+
+let chaos_legs =
+  [
+    (1, Exec.Serial);
+    (2, Exec.Synchronous);
+    (4, Exec.Synchronous);
+    (2, Exec.asynchronous ~kappa:0.5 ~jobs:2 ());
+    (4, Exec.asynchronous ~kappa:0.5 ~jobs:4 ());
+  ]
+
+let chaos_leg ~seed ~jobs ~policy =
+  with_temp_dir (fun dir ->
+      let chaos = Chaos.create ~seed ~rate:0.1 () in
+      let sp =
+        Spill.create ~chaos ~retry:instant_retry ~retain:4
+          ~dir:(Filename.concat dir "spill") ()
+      in
+      let r =
+        E3.explore ~jobs ~policy
+          ~checkpoint:(Filename.concat dir "c.ckpt", 8)
+          ~spill:(sp, 0) ~chaos ~retry:instant_retry g3 ~idents:[| 0; 1; 2 |]
+      in
+      (r, Chaos.stats chaos))
+
+(* S3: any fault schedule survived by the retry budget yields a report
+   equal to the fault-free run — with checkpoint saves, spilling and
+   worker-crash injection all armed, across jobs 1/2/4 and all three
+   execution policies. *)
+let prop_chaos_differential =
+  QCheck.Test.make ~count:4
+    ~name:"fault-injected report = fault-free report (all policies)"
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let baseline = baseline3 () in
+      let injected = ref 0 in
+      let agree =
+        List.for_all
+          (fun (jobs, policy) ->
+            let r, st = chaos_leg ~seed ~jobs ~policy in
+            injected := !injected + st.Chaos.injected;
+            r = baseline)
+          chaos_legs
+      in
+      (* per-leg injection counts fluctuate; across five armed legs a
+         silent schedule would mean the injector is broken *)
+      agree && !injected > 0)
+
+let test_chaos_exhaustion_truncates_cleanly () =
+  (* Retry exhaustion on checkpoint saves is not an error: the run ends
+     early with complete=false, no exception, no stale tmp. *)
+  with_temp_dir (fun dir ->
+      let ckpt = Filename.concat dir "c.ckpt" in
+      let chaos = Chaos.create ~seed:3 ~rate:1.0 ~sites:[ "checkpoint" ] () in
+      let retry = Chaos.Retry.cfg ~max_attempts:2 ~sleep:(fun _ -> ()) () in
+      let r =
+        E3.explore ~checkpoint:(ckpt, 8) ~chaos ~retry g3 ~idents:[| 0; 1; 2 |]
+      in
+      check Alcotest.bool "report truncated, not crashed" false r.complete;
+      check Alcotest.int "truncation sentinel" (-1) r.worst_case_activations;
+      check Alcotest.bool "prefix explored before the cut" true (r.configs >= 8);
+      check Alcotest.bool "no stale tmp left behind" false
+        (Sys.file_exists (ckpt ^ ".tmp")))
+
+let test_chaos_spill_failure_truncates_at_seal () =
+  (* S1: a spill write that fails permanently — including the background
+     writes the parallel builder hands to the executor — surfaces as a
+     clean truncation at the seal/merge boundary, never as a crash. *)
+  List.iter
+    (fun jobs ->
+      with_temp_dir (fun dir ->
+          let chaos =
+            Chaos.create ~seed:5 ~rate:1.0 ~sites:[ "spill.write" ] ()
+          in
+          let retry = Chaos.Retry.cfg ~max_attempts:2 ~sleep:(fun _ -> ()) () in
+          let sp =
+            Spill.create ~chaos ~retry ~dir:(Filename.concat dir "spill") ()
+          in
+          let r =
+            E3.explore ~jobs ~spill:(sp, 0) ~chaos ~retry g3
+              ~idents:[| 0; 1; 2 |]
+          in
+          check Alcotest.bool
+            (Printf.sprintf "jobs=%d: truncated cleanly" jobs)
+            false r.complete;
+          check Alcotest.bool "made progress before the failure" true
+            (r.configs >= 1)))
+    [ 1; 4 ]
 
 (* --- lockhunt ---------------------------------------------------------- *)
 
@@ -645,5 +758,13 @@ let () =
             test_reference_rejects_crash_options;
           Alcotest.test_case "lockhunt budget/stop truncation" `Quick
             test_lockhunt_budget_truncates;
+        ] );
+      ( "chaos",
+        [
+          qtest prop_chaos_differential;
+          Alcotest.test_case "retry exhaustion truncates cleanly" `Quick
+            test_chaos_exhaustion_truncates_cleanly;
+          Alcotest.test_case "spill failure truncates at seal" `Quick
+            test_chaos_spill_failure_truncates_at_seal;
         ] );
     ]

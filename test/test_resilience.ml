@@ -32,7 +32,7 @@ let prop_checkpoint_roundtrip =
       with_temp (fun path ->
           let v = { ints; name; pairs } in
           Checkpoint.save ~path ~version:7 v;
-          let (v' : payload) = Checkpoint.load ~path ~version:7 in
+          let (v' : payload) = Checkpoint.load ~path ~version:7 () in
           v' = v))
 
 let expect_corrupt what f =
@@ -44,7 +44,7 @@ let test_checkpoint_version_mismatch () =
   with_temp (fun path ->
       Checkpoint.save ~path ~version:1 [| 1; 2; 3 |];
       expect_corrupt "version bumped" (fun () ->
-          (Checkpoint.load ~path ~version:2 : int array)))
+          (Checkpoint.load ~path ~version:2 () : int array)))
 
 let test_checkpoint_bad_magic () =
   with_temp (fun path ->
@@ -53,7 +53,7 @@ let test_checkpoint_bad_magic () =
       output_string oc "X";
       close_out oc;
       expect_corrupt "magic flipped" (fun () ->
-          (Checkpoint.load ~path ~version:1 : string)))
+          (Checkpoint.load ~path ~version:1 () : string)))
 
 let test_checkpoint_payload_corruption () =
   with_temp (fun path ->
@@ -70,7 +70,7 @@ let test_checkpoint_payload_corruption () =
       output_bytes oc b;
       close_out oc;
       expect_corrupt "digest must fail" (fun () ->
-          (Checkpoint.load ~path ~version:1 : int array)))
+          (Checkpoint.load ~path ~version:1 () : int array)))
 
 let test_checkpoint_truncation () =
   with_temp (fun path ->
@@ -83,9 +83,9 @@ let test_checkpoint_truncation () =
       output_string oc keep;
       close_out oc;
       expect_corrupt "truncated payload" (fun () ->
-          (Checkpoint.load ~path ~version:1 : string)));
+          (Checkpoint.load ~path ~version:1 () : string)));
   expect_corrupt "missing file" (fun () ->
-      (Checkpoint.load ~path:"/nonexistent/ckpt.bin" ~version:1 : int))
+      (Checkpoint.load ~path:"/nonexistent/ckpt.bin" ~version:1 () : int))
 
 let test_checkpoint_overwrite_atomic () =
   with_temp (fun path ->
@@ -93,7 +93,7 @@ let test_checkpoint_overwrite_atomic () =
       Checkpoint.save ~path ~version:1 "second";
       check Alcotest.string "last write wins"
         "second"
-        (Checkpoint.load ~path ~version:1);
+        (Checkpoint.load ~path ~version:1 ());
       check Alcotest.bool "no temp file left behind" false
         (Sys.file_exists (path ^ ".tmp")))
 
@@ -104,18 +104,23 @@ let test_checkpoint_overwrite_atomic () =
    Corrupt raised through [Spill.read] must carry the offending file's
    path in its message. *)
 
-let with_temp_spill f =
+(* Recursive: recovery paths may create a quarantine/ subdirectory. *)
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let with_temp_dir f =
   let dir = Filename.temp_file "asyncolor-spill" ".d" in
   Sys.remove dir;
+  Unix.mkdir dir 0o755;
   Fun.protect
-    ~finally:(fun () ->
-      if Sys.file_exists dir then begin
-        Array.iter
-          (fun name -> Sys.remove (Filename.concat dir name))
-          (Sys.readdir dir);
-        Unix.rmdir dir
-      end)
-    (fun () -> f (Spill.create ~dir))
+    ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () -> f dir)
+
+let with_temp_spill f = with_temp_dir (fun dir -> f (Spill.create ~dir ()))
 
 let expect_corrupt_with_path what path f =
   match f () with
@@ -295,6 +300,277 @@ let test_diag_line_atomicity () =
   Sys.remove path;
   check Alcotest.int "all 800 lines intact" 800 !lines
 
+(* --- Chaos ----------------------------------------------------------- *)
+
+(* The injector's contract is determinism: a site's fault schedule is a
+   pure function of (seed, site, op index).  Everything downstream — the
+   differential tests in test_check, the CLI chaos legs in bin/dune —
+   leans on that, so it gets tested directly here. *)
+
+module Chaos = Asyncolor_resilience.Chaos
+
+let drain_draws t ~site n = List.init n (fun _ -> Chaos.draw_write t ~site)
+
+let test_chaos_schedule_deterministic () =
+  let mk () = Chaos.create ~seed:42 ~rate:0.3 () in
+  let a = drain_draws (mk ()) ~site:"x.write" 200 in
+  let b = drain_draws (mk ()) ~site:"x.write" 200 in
+  check Alcotest.bool "same seed, same site, same schedule" true (a = b);
+  (* consuming ops at one site must not perturb another site's stream *)
+  let c =
+    let t = mk () in
+    ignore (drain_draws t ~site:"y.write" 500);
+    drain_draws t ~site:"x.write" 200
+  in
+  check Alcotest.bool "sites are independent" true (a = c);
+  let d = drain_draws (Chaos.create ~seed:43 ~rate:0.3 ()) ~site:"x.write" 200 in
+  check Alcotest.bool "different seed, different schedule" true (a <> d)
+
+let test_chaos_rates_and_sites () =
+  let none = ( = ) None and some = ( <> ) None in
+  check Alcotest.bool "rate 0 never injects" true
+    (List.for_all none (drain_draws (Chaos.create ~seed:1 ~rate:0.0 ()) ~site:"s" 500));
+  check Alcotest.bool "disabled never injects" true
+    (List.for_all none (drain_draws Chaos.disabled ~site:"s" 50));
+  let t1 = Chaos.create ~seed:1 ~rate:1.0 () in
+  check Alcotest.bool "rate 1 always injects" true
+    (List.for_all some (drain_draws t1 ~site:"s" 500));
+  check Alcotest.int "every injection counted" 500 (Chaos.stats t1).Chaos.injected;
+  let filtered = Chaos.create ~seed:1 ~rate:1.0 ~sites:[ "exec" ] () in
+  check Alcotest.bool "unlisted site disarmed" true
+    (List.for_all none (drain_draws filtered ~site:"spill.write" 100));
+  check Alcotest.bool "prefix arms the site" true
+    (List.for_all some (drain_draws filtered ~site:"exec.worker-3" 100))
+
+let test_chaos_write_faults () =
+  with_temp_dir (fun dir ->
+      let t = Chaos.create ~seed:7 ~rate:1.0 () in
+      let data = Bytes.init 256 (fun i -> Char.chr (i land 0xff)) in
+      let seen = ref [] in
+      for i = 0 to 39 do
+        let path = Filename.concat dir (Printf.sprintf "f%d" i) in
+        match Chaos.write_file t ~site:"w" path data with
+        | () ->
+            (* at rate 1 a "successful" write can only be a torn one: it
+               reports success but persists a strict prefix *)
+            seen := Chaos.Torn_write :: !seen;
+            let on_disk = Chaos.read_raw path in
+            check Alcotest.bool "torn write leaves a strict prefix" true
+              (Bytes.length on_disk < Bytes.length data
+              && Bytes.equal on_disk (Bytes.sub data 0 (Bytes.length on_disk)))
+        | exception Chaos.Injected { fault; site; _ } -> (
+            seen := fault :: !seen;
+            check Alcotest.string "exception names the site" "w" site;
+            match fault with
+            | Chaos.Enospc | Chaos.Eio ->
+                check Alcotest.bool
+                  (Chaos.fault_name fault ^ " leaves a partial file")
+                  true
+                  (Sys.file_exists path
+                  && Bytes.length (Chaos.read_raw path) < Bytes.length data)
+            | Chaos.Fsync_fail ->
+                check Alcotest.bool "fsync failure: data landed anyway" true
+                  (Bytes.equal (Chaos.read_raw path) data)
+            | f -> Alcotest.failf "unexpected write fault %s" (Chaos.fault_name f))
+      done;
+      check Alcotest.bool "fault kinds varied across the schedule" true
+        (List.length (List.sort_uniq compare !seen) >= 3))
+
+let test_chaos_read_faults () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "data" in
+      let data = Bytes.of_string "the quick brown fox jumps over the lazy dog" in
+      Chaos.write_file Chaos.disabled ~site:"w" path data;
+      let t = Chaos.create ~seed:5 ~rate:1.0 () in
+      let rots = ref 0 and eios = ref 0 in
+      for _ = 1 to 40 do
+        match Chaos.read_file t ~site:"r" path with
+        | b ->
+            (* bit rot flips exactly one byte — and only in the returned
+               buffer, never on disk, so a retry reads clean *)
+            incr rots;
+            let diffs = ref 0 in
+            Bytes.iteri (fun i c -> if c <> Bytes.get data i then incr diffs) b;
+            check Alcotest.int "exactly one byte rotted" 1 !diffs;
+            check Alcotest.bool "on-disk file untouched" true
+              (Bytes.equal (Chaos.read_raw path) data)
+        | exception Chaos.Injected { fault = Chaos.Eio; _ } -> incr eios
+      done;
+      check Alcotest.bool "both read faults appeared" true (!rots > 0 && !eios > 0))
+
+let test_retry_backoff_and_exhaustion () =
+  (* With chaos disabled the jitter factor is exactly 1.0, so the backoff
+     sequence is fully determined: base * multiplier^k, capped. *)
+  let sleeps = ref [] in
+  let cfg =
+    Chaos.Retry.cfg ~max_attempts:4 ~backoff_ms:100.0 ~multiplier:2.0
+      ~max_backoff_ms:250.0
+      ~sleep:(fun s -> sleeps := s :: !sleeps)
+      ()
+  in
+  let attempts = ref 0 in
+  (match
+     Chaos.Retry.run Chaos.disabled cfg ~site:"t" (fun () ->
+         incr attempts;
+         raise (Sys_error "transient"))
+   with
+  | () -> Alcotest.fail "expected Exhausted"
+  | exception Chaos.Retry.Exhausted { attempts = a; site; last = Sys_error _ } ->
+      check Alcotest.int "attempts recorded" 4 a;
+      check Alcotest.string "site recorded" "t" site);
+  check Alcotest.int "every attempt ran" 4 !attempts;
+  let near a b = Float.abs (a -. b) < 1e-9 in
+  (match List.rev !sleeps with
+  | [ s1; s2; s3 ] ->
+      check Alcotest.bool "backoffs 100ms, 200ms, capped 250ms" true
+        (near s1 0.1 && near s2 0.2 && near s3 0.25)
+  | l -> Alcotest.failf "expected 3 backoffs, saw %d" (List.length l))
+
+let test_retry_jitter_bounded_and_counted () =
+  let chaos = Chaos.create ~seed:2 ~rate:0.0 () in
+  let sleeps = ref [] in
+  let cfg =
+    Chaos.Retry.cfg ~max_attempts:5 ~backoff_ms:100.0 ~multiplier:1.0
+      ~max_backoff_ms:1000.0
+      ~sleep:(fun s -> sleeps := s :: !sleeps)
+      ()
+  in
+  (try
+     Chaos.Retry.run chaos cfg ~site:"t" (fun () -> raise (Sys_error "flaky"))
+   with Chaos.Retry.Exhausted _ -> ());
+  check Alcotest.int "retries counted in stats" 4 (Chaos.stats chaos).Chaos.retries;
+  List.iter
+    (fun s ->
+      check Alcotest.bool "jittered delay within [base, 1.5*base]" true
+        (s >= 0.1 -. 1e-9 && s <= 0.15 +. 1e-9))
+    !sleeps
+
+let test_retry_success_and_retry_on () =
+  let cfg = Chaos.Retry.cfg ~max_attempts:5 ~sleep:(fun _ -> ()) () in
+  let n = ref 0 in
+  let v =
+    Chaos.Retry.run Chaos.disabled cfg ~site:"t" (fun () ->
+        incr n;
+        if !n < 3 then raise (Sys_error "flaky") else !n)
+  in
+  check Alcotest.int "third attempt wins" 3 v;
+  (* non-retryable exceptions escape on the first attempt... *)
+  let n = ref 0 in
+  (match
+     Chaos.Retry.run Chaos.disabled cfg ~site:"t" (fun () ->
+         incr n;
+         failwith "fatal")
+   with
+  | () -> Alcotest.fail "expected Failure"
+  | exception Failure _ -> check Alcotest.int "no retries on fatal" 1 !n);
+  (* ...unless retry_on opts them in *)
+  let n = ref 0 in
+  match
+    Chaos.Retry.run Chaos.disabled cfg
+      ~retry_on:(function Failure _ -> true | _ -> false)
+      ~site:"t"
+      (fun () ->
+        incr n;
+        failwith "retryable after all")
+  with
+  | () -> Alcotest.fail "expected Exhausted"
+  | exception Chaos.Retry.Exhausted _ -> check Alcotest.int "all attempts" 5 !n
+
+(* --- Checkpoint rotation, quarantine, stale-tmp hygiene --------------- *)
+
+let garble path =
+  let oc = open_out_bin path in
+  output_string oc "garbage, definitely not a checkpoint";
+  close_out oc
+
+let test_checkpoint_rotation_fallback () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "c.ckpt" in
+      Checkpoint.save_rotated ~path ~version:1 "gen1";
+      Checkpoint.save_rotated ~path ~version:1 "gen2";
+      check Alcotest.string "primary is the last save" "gen2"
+        (Checkpoint.load ~path ~version:1 ());
+      check Alcotest.string "previous generation survives at .1" "gen1"
+        (Checkpoint.load ~path:(Checkpoint.rotated_path path) ~version:1 ());
+      (* damage the primary: the load must quarantine it as evidence and
+         fall back to the rotation instead of aborting *)
+      garble path;
+      check Alcotest.string "fell back to the rotation" "gen1"
+        (Checkpoint.load_rotated ~path ~version:1 ());
+      let qdir = Checkpoint.quarantine_dir ~path in
+      check Alcotest.bool "corrupt primary moved to quarantine/" true
+        (Sys.file_exists (Filename.concat qdir "c.ckpt"));
+      (* both generations gone: now it is a clean Corrupt *)
+      garble (Checkpoint.rotated_path path);
+      expect_corrupt "both generations unreadable" (fun () ->
+          (Checkpoint.load_rotated ~path ~version:1 () : string)))
+
+let test_checkpoint_save_rotated_exhaustion_keeps_last_good () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "c.ckpt" in
+      Checkpoint.save_rotated ~path ~version:1 "good";
+      let chaos = Chaos.create ~seed:11 ~rate:1.0 ~sites:[ "checkpoint" ] () in
+      let retry = Chaos.Retry.cfg ~max_attempts:2 ~sleep:(fun _ -> ()) () in
+      (match Checkpoint.save_rotated ~chaos ~retry ~path ~version:1 "doomed" with
+      | () -> Alcotest.fail "expected Exhausted"
+      | exception Chaos.Retry.Exhausted _ -> ());
+      check Alcotest.bool "no half-written tmp left behind" false
+        (Sys.file_exists (path ^ ".tmp"));
+      check Alcotest.string "last-good checkpoint untouched" "good"
+        (Checkpoint.load ~path ~version:1 ()))
+
+let test_checkpoint_clean_stale () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "c.ckpt" in
+      check Alcotest.bool "nothing to clean" false (Checkpoint.clean_stale ~path);
+      garble (path ^ ".tmp");
+      check Alcotest.bool "stale tmp removed" true (Checkpoint.clean_stale ~path);
+      check Alcotest.bool "tmp gone" false (Sys.file_exists (path ^ ".tmp"));
+      check Alcotest.bool "idempotent" false (Checkpoint.clean_stale ~path))
+
+(* --- Spill recovery --------------------------------------------------- *)
+
+let test_spill_quarantine_and_rebuild () =
+  with_temp_dir (fun dir ->
+      let sp = Spill.create ~retain:4 ~dir () in
+      let data = Array.init 500 (fun i -> i * 37 mod 101) in
+      ignore (Spill.write sp ~level:0 data);
+      let path = Spill.path sp ~level:0 in
+      damage path (fun b -> Bytes.sub b 0 (Bytes.length b / 2));
+      check (Alcotest.array Alcotest.int) "rebuilt from the retained copy"
+        data (Spill.read sp ~level:0);
+      check Alcotest.int "level quarantined" 1 (Spill.quarantined sp);
+      check Alcotest.int "level rebuilt" 1 (Spill.rebuilt sp);
+      check Alcotest.bool "damaged file kept as evidence" true
+        (Sys.file_exists
+           (Filename.concat (Filename.concat dir "quarantine")
+              "level-000000.spill"));
+      (* the rewrite healed the on-disk copy: this read is clean *)
+      check (Alcotest.array Alcotest.int) "healed on disk" data
+        (Spill.read sp ~level:0);
+      check Alcotest.int "no second quarantine" 1 (Spill.quarantined sp))
+
+let test_spill_failed_write_stays_resident () =
+  (* Every write attempt fails (or lands torn and is caught by the
+     read-back verify); the level's bytes must survive in memory and
+     still serve reads.  Exercised across seeds so each fault kind gets
+     its turn as the terminal failure. *)
+  with_temp_dir (fun dir ->
+      List.iter
+        (fun seed ->
+          let chaos =
+            Chaos.create ~seed ~rate:1.0 ~sites:[ "spill.write" ] ()
+          in
+          let retry = Chaos.Retry.cfg ~max_attempts:2 ~sleep:(fun _ -> ()) () in
+          let sp = Spill.create ~chaos ~retry ~retain:4 ~dir () in
+          let data = Array.init 200 (fun i -> i * i) in
+          (try ignore (Spill.write sp ~level:seed data)
+           with Chaos.Retry.Exhausted _ -> ());
+          check (Alcotest.array Alcotest.int)
+            (Printf.sprintf "seed %d: read survives the failed write" seed)
+            data (Spill.read sp ~level:seed))
+        [ 0; 1; 2; 3; 4; 5; 6; 7 ])
+
 let () =
   Alcotest.run "resilience"
     [
@@ -345,5 +621,35 @@ let () =
         [
           Alcotest.test_case "line atomicity across domains" `Quick
             test_diag_line_atomicity;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "schedule determinism" `Quick
+            test_chaos_schedule_deterministic;
+          Alcotest.test_case "rates and site filters" `Quick
+            test_chaos_rates_and_sites;
+          Alcotest.test_case "write fault realization" `Quick
+            test_chaos_write_faults;
+          Alcotest.test_case "read fault realization" `Quick
+            test_chaos_read_faults;
+          Alcotest.test_case "retry backoff and exhaustion" `Quick
+            test_retry_backoff_and_exhaustion;
+          Alcotest.test_case "retry jitter bounded, retries counted" `Quick
+            test_retry_jitter_bounded_and_counted;
+          Alcotest.test_case "retry success midway, retry_on" `Quick
+            test_retry_success_and_retry_on;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "rotation fallback and quarantine" `Quick
+            test_checkpoint_rotation_fallback;
+          Alcotest.test_case "exhausted save keeps last-good" `Quick
+            test_checkpoint_save_rotated_exhaustion_keeps_last_good;
+          Alcotest.test_case "stale tmp cleanup" `Quick
+            test_checkpoint_clean_stale;
+          Alcotest.test_case "spill quarantine-and-rebuild" `Quick
+            test_spill_quarantine_and_rebuild;
+          Alcotest.test_case "spill failed write stays resident" `Quick
+            test_spill_failed_write_stays_resident;
         ] );
     ]

@@ -246,7 +246,7 @@ let test_spill_report_invariant () =
       List.iter
         (fun (name, jobs, policy) ->
           with_temp_spill_dir (fun dir ->
-              let sp = Spill.create ~dir in
+              let sp = Spill.create ~dir () in
               let spilled =
                 Exp.explore ~symmetry ~spill:(sp, 0) ~jobs ~policy graph
                   ~idents

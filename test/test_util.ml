@@ -595,6 +595,88 @@ let test_executor_submit_after_shutdown () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected Invalid_argument after shutdown"
 
+(* --- Executor watchdog (chaos-injected worker crashes) --------------- *)
+
+module Chaos = Asyncolor_resilience.Chaos
+
+(* Spin enough that spawned workers get scheduled and steal tasks before
+   the caller drains the whole deque itself. *)
+let slow f x =
+  for _ = 1 to 10_000 do
+    ignore (Sys.opaque_identity x)
+  done;
+  f x
+
+let test_executor_worker_crash_recovery () =
+  (* Rate 1 at the worker site kills every spawned worker at its first
+     task-take; the task is reinjected and the caller finishes the batch.
+     Counters are read after with_executor so the domains are joined. *)
+  let chaos = Chaos.create ~seed:9 ~rate:1.0 ~sites:[ "exec.worker" ] () in
+  let input = Array.init 400 Fun.id in
+  let expect = Array.map (fun x -> x * x) input in
+  let held = ref None in
+  Executor.with_executor ~chaos ~policy:Executor.Synchronous ~jobs:4
+    (fun exec ->
+      held := Some exec;
+      let rounds = ref 0 in
+      let out = ref (Executor.map exec (slow (fun x -> x * x)) input) in
+      (* workers may not have been scheduled before the caller drained the
+         first batch; give them more chances *)
+      while Executor.worker_crashes exec = 0 && !rounds < 20 do
+        incr rounds;
+        out := Executor.map exec (slow (fun x -> x * x)) input
+      done;
+      check (Alcotest.array Alcotest.int) "results intact despite crashes"
+        expect !out);
+  let exec = Option.get !held in
+  check Alcotest.bool "worker crashes recorded" true
+    (Executor.worker_crashes exec >= 1);
+  check Alcotest.bool "caller always survives" true
+    (Executor.alive_workers exec >= 1);
+  check Alcotest.bool "injections surfaced in chaos stats" true
+    ((Chaos.stats chaos).Chaos.injected >= 1)
+
+let test_executor_degradation_ladder () =
+  (* degrade_after:1 walks the policy down a rung on the first worker
+     failure: asynchronous must not still be the policy at the end. *)
+  let chaos = Chaos.create ~seed:9 ~rate:1.0 ~sites:[ "exec.worker" ] () in
+  let input = Array.init 400 Fun.id in
+  let held = ref None in
+  Executor.with_executor ~chaos ~degrade_after:1
+    ~policy:(Executor.asynchronous ~kappa:0.5 ~jobs:4 ())
+    ~jobs:4
+    (fun exec ->
+      held := Some exec;
+      let rounds = ref 0 in
+      let out = ref (Executor.map exec (slow (fun x -> x + 1)) input) in
+      while Executor.worker_crashes exec = 0 && !rounds < 20 do
+        incr rounds;
+        out := Executor.map exec (slow (fun x -> x + 1)) input
+      done;
+      check (Alcotest.array Alcotest.int) "results intact while degrading"
+        (Array.map (fun x -> x + 1) input)
+        !out);
+  let exec = Option.get !held in
+  check Alcotest.bool "policy degraded at least once" true
+    (Executor.degradations exec >= 1);
+  check Alcotest.bool "policy walked down from asynchronous" true
+    (Executor.policy_name (Executor.policy exec) <> "asynchronous")
+
+let test_executor_chaos_output_identical () =
+  let input = Array.init 500 Fun.id in
+  let f x = x * 7919 mod 101 in
+  let plain =
+    Executor.with_executor ~policy:Executor.Synchronous ~jobs:4 (fun e ->
+        Executor.map e f input)
+  in
+  let chaotic =
+    let chaos = Chaos.create ~seed:4 ~rate:0.3 ~sites:[ "exec.worker" ] () in
+    Executor.with_executor ~chaos ~policy:Executor.Synchronous ~jobs:4 (fun e ->
+        Executor.map e f input)
+  in
+  check (Alcotest.array Alcotest.int) "crashes never change the output"
+    plain chaotic
+
 (* --- Ring ------------------------------------------------------------ *)
 
 module Ring = Asyncolor_util.Ring
@@ -873,6 +955,12 @@ let () =
             test_executor_submit_await_stream;
           Alcotest.test_case "submit after shutdown" `Quick
             test_executor_submit_after_shutdown;
+          Alcotest.test_case "watchdog: crash recovery" `Quick
+            test_executor_worker_crash_recovery;
+          Alcotest.test_case "watchdog: degradation ladder" `Quick
+            test_executor_degradation_ladder;
+          Alcotest.test_case "watchdog: output identical under chaos" `Quick
+            test_executor_chaos_output_identical;
         ] );
       ( "ring",
         [ Alcotest.test_case "absolute-position FIFO" `Quick test_ring_fifo_window ] );
