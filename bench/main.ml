@@ -21,6 +21,13 @@
       obs counter (also recorded under "explore_scale" in the --json
       output).
 
+   4. runs the churn-scale section: activation throughput and
+      recovery-latency percentiles of the crash-recovery session engine
+      (quick: C20; full: the acceptance-scale C62 campaigns), serial vs
+      jobs=4 with the reports asserted identical.  The rows land under
+      "churn" in the --json record and feed the CI perf-regression gate
+      (scripts/check_bench_regression.py vs BENCH_seed.json).
+
    Flags: --quick (reduced experiment sizes), --no-bench, --no-experiments,
    --scale-only (skip the experiments and the Bechamel kernels: only the
    explore-scale section runs — the CI quick-bench legs),
@@ -639,6 +646,110 @@ let run_symmetry_scale ~quick ~budget ~mem_budget_mb ~spill_dir
   Table.print table;
   records
 
+(* --- churn-scale: sustained crash-recovery sessions ------------------- *)
+
+(* The churn engine's headline numbers: raw activation throughput of a
+   long-lived crash-recovery campaign and the recovery-latency tail
+   (activations from reset to return).  Quick runs a small ring so CI
+   stays fast; full runs the acceptance-scale C62 campaigns (1M
+   activations per algorithm).  Each instance runs serial and jobs=4
+   synchronous and the two reports are asserted identical — the same
+   end-to-end determinism gate as explore-scale.  The rows land under
+   "churn" in the --json record; scripts/check_bench_regression.py
+   compares them against BENCH_seed.json. *)
+type churn_record = {
+  cr_name : string;
+  cr_activations : int;
+  cr_crashes : int;
+  cr_recoveries : int;
+  cr_serial_s : float;
+  cr_jobs4_s : float;
+  cr_latency : Asyncolor_workload.Stats.summary option;
+}
+
+let churn_scale_instances ~quick =
+  let open Asyncolor_churn.Session in
+  let cfg algo n horizon = { default with algo; n; horizon } in
+  if quick then
+    [
+      ("C20/a2", cfg A2 20 20_000, 2);
+      ("C20/a3", cfg A3 20 20_000, 2);
+    ]
+  else
+    [
+      ("C62/a2", cfg A2 62 250_000, 4);
+      ("C62/a3", cfg A3 62 250_000, 4);
+    ]
+
+let run_churn_scale ~quick ~budget =
+  print_endline
+    "\n\
+     === churn-scale: crash-recovery sessions, wall clock (serial / sync \
+     j4) ===";
+  let table =
+    Table.create
+      ~headers:
+        [
+          "instance"; "activations"; "crashes"; "serial (s)"; "sync j4 (s)";
+          "acts/sec"; "p50"; "p95"; "p99";
+        ]
+  in
+  List.filter_map
+    (fun (name, cfg, sessions) ->
+      match budget with
+      | Some b when Asyncolor_resilience.Budget.exceeded b ->
+          Printf.printf "%s: skipped (time budget exhausted)\n" name;
+          None
+      | _ ->
+          let time ~policy ~jobs =
+            let t0 = Oclock.monotonic () in
+            let r : Asyncolor_churn.Session.report =
+              Asyncolor_churn.Session.campaign ~jobs ~policy cfg ~seed:1
+                ~sessions ()
+            in
+            (r, Int64.to_float (Int64.sub (Oclock.monotonic ()) t0) /. 1e9)
+          in
+          let r1, dt1 = time ~policy:Executor.Serial ~jobs:1 in
+          let r4, dt4 = time ~policy:Executor.Synchronous ~jobs:4 in
+          if r1 <> r4 then
+            failwith (name ^ ": serial and sync churn reports differ (determinism bug)");
+          if r1.violations <> [] then
+            failwith (name ^ ": clean churn campaign reported violations");
+          let acts_per_sec =
+            float_of_int r1.total_activations /. Float.max dt1 1e-9
+          in
+          let lat f =
+            match r1.latency with
+            | Some s -> string_of_int (f s)
+            | None -> "-"
+          in
+          Table.add_row table
+            [
+              name;
+              string_of_int r1.total_activations;
+              string_of_int r1.total_crashes;
+              Printf.sprintf "%.2f" dt1;
+              Printf.sprintf "%.2f" dt4;
+              Printf.sprintf "%.0f" acts_per_sec;
+              lat (fun s -> s.Asyncolor_workload.Stats.p50);
+              lat (fun s -> s.Asyncolor_workload.Stats.p95);
+              lat (fun s -> s.Asyncolor_workload.Stats.p99);
+            ];
+          Some
+            {
+              cr_name = name;
+              cr_activations = r1.total_activations;
+              cr_crashes = r1.total_crashes;
+              cr_recoveries = r1.total_recoveries;
+              cr_serial_s = dt1;
+              cr_jobs4_s = dt4;
+              cr_latency = r1.latency;
+            })
+    (churn_scale_instances ~quick)
+  |> fun records ->
+  Table.print table;
+  records
+
 (* --- chaos-overhead: the injector's cost when armed but silent -------- *)
 
 (* The resilience layer's "free when off" claim, measured: an injector
@@ -811,6 +922,9 @@ let () =
         ~quick:(quick && not sym_full)
         ~budget ~mem_budget_mb ~spill_dir ~spill_threshold_words ~obs ~kappa
   in
+  let churn_records =
+    if no_bench then [] else run_churn_scale ~quick ~budget
+  in
   let chaos_records =
     if no_bench then [] else [ run_chaos_overhead ~quick ~budget () ]
   in
@@ -871,6 +985,31 @@ let () =
             ("orbit_ratio", J.Float r.sr_orbit_ratio);
           ]
       in
+      let churn_json (r : churn_record) =
+        let lat f =
+          match r.cr_latency with
+          | Some s -> J.Int (f s)
+          | None -> J.Null
+        in
+        J.Obj
+          [
+            ("instance", J.String r.cr_name);
+            ("activations", J.Int r.cr_activations);
+            ("crashes", J.Int r.cr_crashes);
+            ("recoveries", J.Int r.cr_recoveries);
+            ("jobs1_seconds", J.Float r.cr_serial_s);
+            ("jobs4_seconds", J.Float r.cr_jobs4_s);
+            ( "activations_per_sec",
+              J.Float
+                (float_of_int r.cr_activations /. Float.max r.cr_serial_s 1e-9)
+            );
+            ("recovery_p50", lat (fun s -> s.Asyncolor_workload.Stats.p50));
+            ("recovery_p95", lat (fun s -> s.Asyncolor_workload.Stats.p95));
+            ("recovery_p99", lat (fun s -> s.Asyncolor_workload.Stats.p99));
+            ( "recovery_max",
+              lat (fun s -> s.Asyncolor_workload.Stats.max) );
+          ]
+      in
       let chaos_json (r : chaos_record) =
         J.Obj
           [
@@ -919,6 +1058,7 @@ let () =
              ("kappa", J.Float kappa);
              ("explore_scale", J.List (List.map scale_json scale_records));
              ("symmetry_scale", J.List (List.map sym_json sym_records));
+             ("churn", J.List (List.map churn_json churn_records));
              ("chaos_overhead", J.List (List.map chaos_json chaos_records));
              ("benchmarks", J.List (List.map bench_json bench_records));
              ("obs_metrics", obs_metrics);

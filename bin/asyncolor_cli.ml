@@ -6,6 +6,7 @@
      sweep        rounds-vs-n table for an algorithm over the adversary suite
      check        exhaustive model checking on a small cycle
      fuzz         randomized fault-injection campaigns with shrinking
+     churn        long-lived crash-recovery sessions with self-healing checks
      replay       re-execute an explicit schedule or a recorded fuzz trace
      experiments  run the reproduction experiments (DESIGN.md index)      *)
 
@@ -23,6 +24,7 @@ module Diag = Asyncolor_resilience.Diag
 module Chaos = Asyncolor_resilience.Chaos
 module Checkpoint = Asyncolor_resilience.Checkpoint
 module Fz = Asyncolor_fuzz
+module Churn = Asyncolor_churn
 module Obs = Asyncolor_obs.Obs
 module Oclock = Asyncolor_obs.Clock
 module Trace_export = Asyncolor_obs.Trace_export
@@ -867,6 +869,183 @@ let fuzz_cmd =
       $ time_budget_arg $ mem_budget_arg $ chaos_arg $ retry_max_arg
       $ backoff_ms_arg $ list_mutants_arg $ trace_out_arg $ metrics_arg)
 
+let churn_cmd =
+  let doc = "long-lived churn sessions: crash-recovery with self-healing re-coloring" in
+  let algo_arg =
+    Arg.(
+      value
+      & opt string "2"
+      & info [ "algo" ] ~docv:"A"
+          ~doc:
+            "Algorithm under churn: $(b,2) or $(b,3) — the wait-free cycle \
+             algorithms, whose activation bounds the recovery invariant \
+             checks against.")
+  in
+  let churn_n_arg =
+    Arg.(
+      value & opt int 62
+      & info [ "n" ] ~docv:"N"
+          ~doc:
+            "Ring size, 3-62: every activation goes through the packed \
+             one-word activation masks.")
+  in
+  let horizon_arg =
+    Arg.(
+      value & opt int 250_000
+      & info [ "horizon" ] ~docv:"N" ~doc:"Target activations per session.")
+  in
+  let crash_rate_arg =
+    Arg.(
+      value & opt float 0.3
+      & info [ "crash-rate" ] ~docv:"P"
+          ~doc:"Per-step probability that a crash event fires during a churn window.")
+  in
+  let recover_rate_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "recover-rate" ] ~docv:"P"
+          ~doc:"Per-step recovery probability of each crashed node.")
+  in
+  let burst_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "burst" ] ~docv:"K" ~doc:"Nodes taken down by one crash event.")
+  in
+  let sessions_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "sessions" ] ~docv:"N" ~doc:"Independent sessions in the campaign.")
+  in
+  let mutant_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mutant" ] ~docv:"NAME"
+          ~doc:
+            "Mutation-test the recovery detectors: plant a recovery bug \
+             (see $(b,--list-mutants)) and expect a violation.  Exit 0 iff \
+             the bug is caught.")
+  in
+  let list_mutants_arg =
+    Arg.(
+      value & flag
+      & info [ "list-mutants" ]
+          ~doc:"List the planted recovery bugs and their pinned detectors, then exit.")
+  in
+  let save_trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-trace" ] ~docv:"PATH"
+          ~doc:
+            "Persist the campaign's violations as a replayable churn trace \
+             (crash-safe checkpoint container).")
+  in
+  let replay_trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"PATH"
+          ~doc:
+            "Replay a churn trace: re-run the recorded campaign and check \
+             the recorded violations reproduce byte-for-byte.  Exit 0 on \
+             reproduction, 1 on mismatch, 2 on a corrupt file.")
+  in
+  let f algo n horizon crash_rate recover_rate burst sessions seed jobs
+      exec_policy kappa mutant list_mutants save_trace replay trace_out metrics
+      =
+    if list_mutants then
+      List.iter
+        (fun b ->
+          Printf.printf "%-18s caught by %s\n"
+            (Churn.Session.bug_name b)
+            (Churn.Session.bug_detector b))
+        Churn.Session.bugs
+    else begin
+      let obs = make_obs ~trace_out ~metrics in
+      let policy = make_policy ~policy:exec_policy ~kappa ~jobs in
+      match replay with
+      | Some path -> (
+          match Churn.Trace.load path with
+          | exception Checkpoint.Corrupt msg ->
+              Printf.eprintf "corrupt churn trace %s: %s\n" path msg;
+              exit 2
+          | t ->
+              Format.printf "%a@." Churn.Trace.pp t;
+              let _report, reproduced =
+                Churn.Trace.replay ~jobs ?policy ~obs t
+              in
+              Printf.printf "reproduced=%b\n" reproduced;
+              finish_obs obs ~trace_out ~metrics;
+              if not reproduced then exit 1)
+      | None ->
+          announce_seed seed;
+          let algo =
+            match Churn.Session.algo_of_string algo with
+            | Some a -> a
+            | None ->
+                failwith
+                  (Printf.sprintf "churn supports algorithms 2 and 3, not %S"
+                     algo)
+          in
+          let bug =
+            Option.map
+              (fun name ->
+                match Churn.Session.bug_of_string name with
+                | Some b -> b
+                | None ->
+                    failwith
+                      (Printf.sprintf
+                         "unknown recovery bug %S (see --list-mutants)" name))
+              mutant
+          in
+          let cfg =
+            {
+              Churn.Session.algo;
+              n;
+              horizon;
+              crash_rate;
+              recover_rate;
+              burst;
+              mutant = bug;
+            }
+          in
+          let t0 = Oclock.monotonic () in
+          let report : Churn.Session.report =
+            Stop.with_signals (fun () ->
+                Churn.Session.campaign ~jobs ?policy ~obs cfg ~seed ~sessions
+                  ())
+          in
+          let dt = elapsed_s t0 in
+          Diag.printf "%d activations in %.3fs (%.0f activations/sec, jobs=%d)\n"
+            report.total_activations dt
+            (float_of_int report.total_activations /. Float.max dt 1e-9)
+            jobs;
+          Format.printf "%a@." Churn.Session.pp_report report;
+          (match save_trace with
+          | None -> ()
+          | Some path ->
+              Churn.Trace.save ~path (Churn.Trace.of_report report);
+              Diag.printf "churn trace written to %s\n" path);
+          finish_obs obs ~trace_out ~metrics;
+          (* As for fuzz --mutant: a violation is the expected outcome when
+             a recovery bug is planted, a failure otherwise. *)
+          match (bug, report.violations) with
+          | Some _, [] ->
+              prerr_endline "recovery bug escaped: no detector fired";
+              exit 1
+          | Some _, _ :: _ -> ()
+          | None, _ :: _ -> exit 1
+          | None, [] -> ()
+    end
+  in
+  Cmd.v (Cmd.info "churn" ~doc)
+    Term.(
+      const f $ algo_arg $ churn_n_arg $ horizon_arg $ crash_rate_arg
+      $ recover_rate_arg $ burst_arg $ sessions_arg $ seed_arg $ jobs_arg
+      $ exec_policy_arg $ kappa_arg $ mutant_arg $ list_mutants_arg
+      $ save_trace_arg $ replay_trace_arg $ trace_out_arg $ metrics_arg)
+
 let replay_cmd =
   let doc = "replay an explicit schedule (e.g. a lasso printed by check) or a fuzz trace" in
   let sched_arg =
@@ -968,6 +1147,7 @@ let () =
             check_cmd;
             lockhunt_cmd;
             fuzz_cmd;
+            churn_cmd;
             replay_cmd;
             tracecheck_cmd;
             experiments_cmd;

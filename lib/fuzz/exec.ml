@@ -10,6 +10,7 @@ type event = {
   time : int;
   activated : int list;
   returned : (int * string) list;
+  resets : (int * int) list;
 }
 
 type outcome = {
@@ -21,7 +22,15 @@ type outcome = {
   returned : int;
 }
 
-let invariant_names = [ "proper"; "palette"; "activation-bound"; "mask-agreement" ]
+let invariant_names =
+  [
+    "proper";
+    "palette";
+    "activation-bound";
+    "mask-agreement";
+    "churn-reinit";
+    "churn-fresh-ident";
+  ]
 
 (* A protocol plus everything the invariant suite needs to judge a run of
    it: output equality and rendering, the palette claim (graph-dependent)
@@ -113,6 +122,12 @@ let resolve (sc : Scenario.t) : (module ALG) =
       | Some p -> a1_alg p
       | None -> bad_mutation m)
   | Scenario.A2, None -> a2_alg (module Asyncolor.Algorithm2.P)
+  | Scenario.A2, Some m when Mutation.is_churn m -> (
+      (* churn mutants corrupt the recovery machinery in [drive], not the
+         protocol: the clean step function runs *)
+      match Mutation.find m with
+      | Some _ -> a2_alg (module Asyncolor.Algorithm2.P)
+      | None -> bad_mutation m)
   | Scenario.A2, Some m -> (
       match Mutation.a2_protocol m with
       | Some p -> a2_alg p
@@ -128,22 +143,97 @@ let run_alg (module A : ALG) (sc : Scenario.t) : outcome =
   let graph = Scenario.build_graph sc.graph in
   let n = Graph.n graph in
   let on_cycle = match sc.graph with Scenario.Cycle _ -> true | _ -> false in
-  let engine = E.create ~record_trace:true graph ~idents:sc.idents in
-  let r =
-    E.run
-      ~max_steps:(Scenario.steps sc + 1)
-      engine
-      (Adversary.finite sc.schedule)
-  in
   let violations = ref [] in
   let add invariant message = violations := { invariant; message } :: !violations in
+  let churn = sc.Scenario.churn in
+  let sched = Array.of_list sc.schedule in
+  let len = Array.length sched in
+  let down time p =
+    List.exists
+      (fun (ev : Scenario.churn_event) ->
+        ev.Scenario.node = p
+        && time >= ev.Scenario.crash_at
+        && time < ev.Scenario.recover_at)
+      churn
+  in
+  (* The churn- mutants plant their bug here, in how a recovery event is
+     applied; every other mutation leaves the recovery machinery clean. *)
+  let apply_reset engine (ev : Scenario.churn_event) =
+    match sc.mutation with
+    | Some "churn-zombie" -> ()
+    | Some "churn-collide" ->
+        E.reset engine ev.Scenario.node
+          ~ident:(E.ident engine ((ev.Scenario.node + 1) mod n))
+    | _ -> E.reset engine ev.Scenario.node ~ident:ev.Scenario.fresh_ident
+  in
+  (* Replicates [E.run] over the explicit schedule, with churn applied:
+     recoveries fire just before their step, crashed processes are
+     filtered from activation sets, and the early stop waits for pending
+     recoveries (a reset un-returns a process).  With [churn = []] this
+     is step-for-step the old [E.run (Adversary.finite sc.schedule)]. *)
+  let drive ?(on_reset = fun _ -> ()) engine ~activate =
+    let stop = ref false in
+    while not !stop do
+      let t = E.time engine + 1 in
+      if t > len then stop := true
+      else if
+        E.all_returned engine
+        && not
+             (List.exists
+                (fun (ev : Scenario.churn_event) -> ev.Scenario.recover_at >= t)
+                churn)
+      then stop := true
+      else begin
+        List.iter
+          (fun (ev : Scenario.churn_event) ->
+            if ev.Scenario.recover_at = t then begin
+              apply_reset engine ev;
+              on_reset ev
+            end)
+          churn;
+        activate (List.filter (fun p -> not (down t p)) sched.(t - 1))
+      end
+    done
+  in
+  let engine = E.create ~record_trace:true graph ~idents:sc.idents in
+  (* 5-6: the recovery invariants, audited at every recovery event of the
+     primary run *)
+  let on_reset (ev : Scenario.churn_event) =
+    let p = ev.Scenario.node in
+    (match E.status engine p with
+    | Status.Asleep when E.public engine p = None && E.activations engine p = 0
+      ->
+        ()
+    | st ->
+        add "churn-reinit"
+          (Printf.sprintf
+             "process %d not re-initialised on recovery (status %s, %d \
+              activations)"
+             p
+             (Format.asprintf "%a" (Status.pp A.pp_output) st)
+             (E.activations engine p)));
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        if E.ident engine u = E.ident engine v then
+          add "churn-fresh-ident"
+            (Printf.sprintf "processes %d and %d both hold identifier %d" u v
+               (E.ident engine u))
+      done
+    done
+  in
+  drive ~on_reset engine ~activate:(fun set -> E.activate engine set);
+  let run_steps = E.time engine in
+  let run_outputs = E.outputs engine in
+  let run_activations = Array.init n (fun p -> E.activations engine p) in
   (* 1-2: proper colouring of the returned subgraph + palette membership *)
   let in_palette =
     match A.palette ~graph ~on_cycle with Some f -> f | None -> fun _ -> true
   in
-  let verdict = Checker.check ~equal:A.equal_output ~in_palette graph r.outputs in
+  let verdict =
+    Checker.check ~equal:A.equal_output ~in_palette graph run_outputs
+  in
   let show_out p =
-    match r.outputs.(p) with Some o -> A.show_output o | None -> "⊥"
+    match run_outputs.(p) with Some o -> A.show_output o | None -> "⊥"
   in
   if not verdict.Checker.proper then
     add "proper"
@@ -160,10 +250,13 @@ let run_alg (module A : ALG) (sc : Scenario.t) : outcome =
             (List.map
                (fun p -> Printf.sprintf "p%d=%s" p (show_out p))
                verdict.Checker.off_palette)));
-  (* 3: the wait-freedom lemmas as per-process activation bounds *)
+  (* 3: the wait-freedom lemmas as per-process activation bounds.  Only
+     for static executions: recovery leaves the ring outside the static
+     model (frozen registers of returned neighbours), where the bounds of
+     Theorems 3.1/3.11/4.4 are simply not claimed — and demonstrably do
+     not hold under lockstep scheduling. *)
   (match A.bound ~n ~on_cycle with
-  | None -> ()
-  | Some b ->
+  | Some b when churn = [] ->
       Array.iteri
         (fun p a ->
           if a > b then
@@ -172,18 +265,17 @@ let run_alg (module A : ALG) (sc : Scenario.t) : outcome =
                  "process %d performed %d activations (bound %d, %s)" p a b
                  (if Status.is_returned (E.status engine p) then "returned"
                   else "not returned")))
-        r.activations_per_process);
+        run_activations
+  | _ -> ());
   (* 4: differential agreement between the list ([activate]) and packed
-     ([activate_mask]) run-core entry points on the same schedule *)
+     ([activate_mask]) run-core entry points on the same schedule — churn
+     events applied identically on both sides *)
   let e2 = E.create graph ~idents:sc.idents in
-  List.iter
-    (fun set ->
-      if not (E.all_returned e2) then E.activate_mask e2 (mask_of_set set))
-    sc.schedule;
-  if E.time e2 <> r.steps then
+  drive e2 ~activate:(fun set -> E.activate_mask e2 (mask_of_set set));
+  if E.time e2 <> run_steps then
     add "mask-agreement"
       (Printf.sprintf "mask replay took %d steps, list replay %d" (E.time e2)
-         r.steps)
+         run_steps)
   else begin
     let diverged = ref None in
     for p = n - 1 downto 0 do
@@ -215,15 +307,16 @@ let run_alg (module A : ALG) (sc : Scenario.t) : outcome =
           time = e.E.time;
           activated = e.E.activated;
           returned = List.map (fun (p, o) -> (p, A.show_output o)) e.E.returned;
+          resets = e.E.resets;
         })
       (E.trace engine)
   in
   {
     violations = List.rev !violations;
     events;
-    outputs = Array.map (Option.map A.show_output) r.outputs;
-    activations = r.activations_per_process;
-    steps = r.steps;
+    outputs = Array.map (Option.map A.show_output) run_outputs;
+    activations = run_activations;
+    steps = run_steps;
     returned = verdict.Checker.returned;
   }
 

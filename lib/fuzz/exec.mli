@@ -10,15 +10,26 @@
       general graphs);
     + {b activation-bound} — no process exceeds the wait-freedom bound on
       its own activations (Theorems 3.1 / 3.11 / 4.4; cycle topologies
-      only, and never for Algorithm 2s, which is not wait-free);
+      only, and never for Algorithm 2s, which is not wait-free).  Skipped
+      for churn-bearing scenarios: recovery leaves the ring outside the
+      static model, where the bounds are not claimed — and demonstrably
+      fail under lockstep scheduling;
     + {b mask-agreement} — differential check: replaying the very same
       schedule through the packed [activate_mask] entry point must agree
       with the list [activate] path on statuses, outputs and activation
-      counters (the run-core equivalence the explorer relies on).
+      counters (the run-core equivalence the explorer relies on).  Churn
+      events are applied identically on both sides;
+    + {b churn-reinit} — a recovered process is observably fresh: asleep,
+      register back to [⊥], activation counter restarted (checked at
+      every recovery event);
+    + {b churn-fresh-ident} — installed identifiers stay pairwise
+      distinct after every recovery.
 
     The suite is pluggable at the [ALG] seam: a protocol plus its palette
     claim and activation bound.  {!Mutation} supplies deliberately broken
-    protocols through the same seam. *)
+    protocols through the same seam — except the ["churn-"] mutants,
+    whose planted bug corrupts how this module applies recovery events
+    while the protocol itself stays clean. *)
 
 type violation = { invariant : string; message : string }
 
@@ -26,6 +37,7 @@ type event = {
   time : int;
   activated : int list;
   returned : (int * string) list;  (** outputs rendered, protocol-erased *)
+  resets : (int * int) list;  (** recoveries: (process, fresh identifier) *)
 }
 
 type outcome = {

@@ -24,10 +24,28 @@ let all =
       base = Scenario.A1;
       describe = "Algorithm 1 returns (a+1, b) instead of (a, b)";
     };
+    (* The churn- mutants plant their bug in the recovery machinery, not
+       the protocol: {!Exec} runs the clean step function and corrupts the
+       reset instead. *)
+    {
+      name = "churn-zombie";
+      base = Scenario.A2;
+      describe = "recovery leaves the crashed incarnation in place (no reset)";
+    };
+    {
+      name = "churn-collide";
+      base = Scenario.A2;
+      describe = "recovery installs an identifier a live process already holds";
+    };
   ]
 
 let names = List.map (fun i -> i.name) all
 let find name = List.find_opt (fun i -> i.name = name) all
+
+(* Churn mutants corrupt how {!Exec} applies recovery events; the protocol
+   itself stays clean.  Recognised by name so {!Scenario.generate} (which
+   cannot depend on this module) can use the same convention. *)
+let is_churn name = String.length name >= 6 && String.sub name 0 6 = "churn-"
 
 (* Each mutant is the clean protocol with exactly one planted bug in its
    step function, and a distinguishing [name] so traces and reports show

@@ -8,7 +8,13 @@
     direction.  A campaign run against a mutant
     ({!Fuzz.campaign} [~mutation:name]) must produce a finding within a
     bounded exec budget; [test/test_fuzz.ml] pins that down per mutant,
-    and the shrunk counterexample must replay to the same violation. *)
+    and the shrunk counterexample must replay to the same violation.
+
+    The ["churn-"]-prefixed mutants are different in kind: their bug
+    lives in the {e recovery machinery}, not the protocol.  {!Exec} runs
+    the clean step function for them and corrupts how churn events are
+    applied instead (a skipped reset, a colliding identifier), which is
+    what the churn detectors must catch. *)
 
 type info = {
   name : string;  (** CLI spelling, e.g. ["skip-read"] *)
@@ -19,6 +25,10 @@ type info = {
 val all : info list
 val names : string list
 val find : string -> info option
+
+val is_churn : string -> bool
+(** Does the mutation name denote a recovery-machinery bug (the
+    ["churn-"] prefix convention, shared with {!Scenario.generate})? *)
 
 (** Planted protocols (exported for direct use in tests). *)
 

@@ -8,12 +8,24 @@ type algo = A1 | A2 | A2s | A3
 
 type graph_spec = Cycle of int | Path of int | Complete of int | Star of int
 
+(* One crash-recovery pair, kept atomic so shrinking can never separate a
+   recovery from its crash: the node is unschedulable during
+   [crash_at, recover_at) and is reset with [fresh_ident] just before the
+   step at time [recover_at]. *)
+type churn_event = {
+  node : int;
+  crash_at : int;
+  recover_at : int;
+  fresh_ident : int;
+}
+
 type t = {
   algo : algo;
   mutation : string option;
   graph : graph_spec;
   idents : int array;
   schedule : int list list;
+  churn : churn_event list;
 }
 
 let algo_name = function A1 -> "1" | A2 -> "2" | A2s -> "2s" | A3 -> "3"
@@ -43,18 +55,34 @@ let steps t = List.length t.schedule
 
 let weight t =
   List.fold_left (fun acc set -> acc + 1 + List.length set) 0 t.schedule
+  (* each churn event weighs 2 (its crash and its recovery), so dropping
+     one strictly decreases the cost the shrinker minimises *)
+  + (2 * List.length t.churn)
 
 (* Lexicographic cost the shrinker minimises: fewer nodes, then fewer
-   steps, then thinner activation sets. *)
+   steps, then thinner activation sets / fewer churn events. *)
 let size t = (graph_n t.graph, steps t, weight t)
 
+let pp_churn ppf churn =
+  Format.fprintf ppf "%s"
+    (String.concat ","
+       (List.map
+          (fun ev ->
+            Printf.sprintf "n%d@%d-%d>%d" ev.node ev.crash_at ev.recover_at
+              ev.fresh_ident)
+          churn))
+
 let pp ppf t =
-  Format.fprintf ppf "@[<v>algo=%s%s graph=%s@,idents=%s@,schedule=%s@]"
+  Format.fprintf ppf "@[<v>algo=%s%s graph=%s@,idents=%s@,schedule=%s%a@]"
     (algo_name t.algo)
     (match t.mutation with None -> "" | Some m -> "!" ^ m)
     (graph_name t.graph)
     (String.concat "," (Array.to_list (Array.map string_of_int t.idents)))
     (Adversary.to_string t.schedule)
+    (fun ppf -> function
+      | [] -> ()
+      | churn -> Format.fprintf ppf "@,churn=%a" pp_churn churn)
+    t.churn
 
 let validate t =
   let n = graph_n t.graph in
@@ -69,7 +97,40 @@ let validate t =
              (Printf.sprintf
                 "Scenario.validate: schedule names process %d outside [0, %d)" p
                 n)))
-    t.schedule
+    t.schedule;
+  let horizon = steps t in
+  let seen_nodes = Hashtbl.create 8 and seen_fresh = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      if ev.node < 0 || ev.node >= n then
+        invalid_arg
+          (Printf.sprintf
+             "Scenario.validate: churn names process %d outside [0, %d)"
+             ev.node n);
+      if Hashtbl.mem seen_nodes ev.node then
+        invalid_arg
+          (Printf.sprintf "Scenario.validate: process %d churns twice" ev.node);
+      Hashtbl.add seen_nodes ev.node ();
+      if not (1 <= ev.crash_at && ev.crash_at <= ev.recover_at && ev.recover_at <= horizon)
+      then
+        invalid_arg
+          (Printf.sprintf
+             "Scenario.validate: churn times %d-%d outside 1 <= crash <= \
+              recover <= %d"
+             ev.crash_at ev.recover_at horizon);
+      if Array.exists (fun x -> x = ev.fresh_ident) t.idents then
+        invalid_arg
+          (Printf.sprintf
+             "Scenario.validate: fresh identifier %d collides with an initial \
+              identifier"
+             ev.fresh_ident);
+      if Hashtbl.mem seen_fresh ev.fresh_ident then
+        invalid_arg
+          (Printf.sprintf
+             "Scenario.validate: fresh identifier %d used by two churn events"
+             ev.fresh_ident);
+      Hashtbl.add seen_fresh ev.fresh_ident ())
+    t.churn
 
 (* --- generation ------------------------------------------------------ *)
 
@@ -137,7 +198,54 @@ let generate ?(algos = [ A1; A2; A2s; A3 ]) ?mutation ?(max_n = 10) prng =
     in
     schedule := set :: !schedule
   done;
-  { algo; mutation; graph; idents; schedule = List.rev !schedule }
+  (* Churn (crash-recovery pairs): always at least one for the churn-*
+     mutants, whose planted bugs live in the recovery machinery; a
+     minority of clean scenarios; never for protocol mutants, whose
+     catch-rate calibration predates churn. *)
+  let churn_mutant =
+    match mutation with
+    | Some m -> String.length m >= 6 && String.sub m 0 6 = "churn-"
+    | None -> false
+  in
+  let with_churn =
+    churn_mutant || (mutation = None && Prng.float prng 1.0 < 0.35)
+  in
+  let churn =
+    if not with_churn then []
+    else begin
+      let count = 1 + Prng.int prng (min 3 n) in
+      let taken = Hashtbl.create 8 in
+      Array.iter (fun x -> Hashtbl.replace taken x ()) idents;
+      let events = ref [] in
+      for _ = 1 to count do
+        let node = Prng.int prng n in
+        if not (List.exists (fun ev -> ev.node = node) !events) then begin
+          let crash_at = Prng.int_in prng 1 horizon in
+          let recover_at = Prng.int_in prng crash_at horizon in
+          (* fresh identifier: sometimes the smallest unused (recycling
+             pressure on ident-sensitive logic), sometimes past the top *)
+          let fresh_ident =
+            if Prng.bool prng then begin
+              let c = ref 0 in
+              while Hashtbl.mem taken !c do
+                incr c
+              done;
+              !c
+            end
+            else begin
+              let top = ref 0 in
+              Hashtbl.iter (fun x () -> if x > !top then top := x) taken;
+              !top + 1
+            end
+          in
+          Hashtbl.replace taken fresh_ident ();
+          events := { node; crash_at; recover_at; fresh_ident } :: !events
+        end
+      done;
+      List.rev !events
+    end
+  in
+  { algo; mutation; graph; idents; schedule = List.rev !schedule; churn }
 
 (* --- shrinking primitives -------------------------------------------- *)
 
@@ -145,7 +253,21 @@ let drop_steps t ~lo ~len =
   let schedule =
     List.filteri (fun i _ -> i < lo || i >= lo + len) t.schedule
   in
-  { t with schedule }
+  (* Remap churn times (1-based) across the removed window [lo, lo+len)
+     (0-based): a time inside the hole snaps to the first surviving step
+     after it.  A pair whose recovery no longer fits the shorter schedule
+     is dropped whole — crash and recovery always travel together. *)
+  let remap time = if time <= lo then time else max (lo + 1) (time - len) in
+  let horizon = List.length schedule in
+  let churn =
+    List.filter_map
+      (fun ev ->
+        let crash_at = remap ev.crash_at and recover_at = remap ev.recover_at in
+        if recover_at <= horizon then Some { ev with crash_at; recover_at }
+        else None)
+      t.churn
+  in
+  { t with schedule; churn }
 
 let thin_step t ~step ~drop =
   let schedule =
@@ -167,5 +289,17 @@ let drop_node t victim =
       let schedule =
         List.map (fun set -> List.filter_map remap set) t.schedule
       in
-      Some { t with graph = Cycle (n - 1); idents; schedule }
+      let churn =
+        List.filter_map
+          (fun ev ->
+            match remap ev.node with
+            | None -> None
+            | Some node -> Some { ev with node })
+          t.churn
+      in
+      Some { t with graph = Cycle (n - 1); idents; schedule; churn }
   | _ -> None
+
+let drop_churn_event t i =
+  if i < 0 || i >= List.length t.churn then None
+  else Some { t with churn = List.filteri (fun j _ -> j <> i) t.churn }

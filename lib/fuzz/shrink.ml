@@ -63,6 +63,21 @@ let minimize ?(max_execs = 4_000) (sc : Scenario.t) ~invariant =
     done;
     !progress
   in
+  (* Pass 1b — drop churn events, one at a time (each event is an atomic
+     crash-recovery pair, so the two can never be separated). *)
+  let drop_churn_events () =
+    let progress = ref false in
+    let i = ref (List.length (!current).Scenario.churn - 1) in
+    while !i >= 0 && budget_left () do
+      (match Scenario.drop_churn_event !current !i with
+      | Some candidate when still_fails candidate ->
+          current := candidate;
+          progress := true
+      | _ -> ());
+      decr i
+    done;
+    !progress
+  in
   (* Pass 3 — shrink the instance itself (cycle topologies). *)
   let drop_nodes () =
     let progress = ref false in
@@ -85,9 +100,10 @@ let minimize ?(max_execs = 4_000) (sc : Scenario.t) ~invariant =
   in
   let rec fixpoint () =
     let p1 = drop_step_chunks () in
+    let p1b = drop_churn_events () in
     let p2 = thin_sets () in
     let p3 = drop_nodes () in
-    if (p1 || p2 || p3) && budget_left () then fixpoint ()
+    if (p1 || p1b || p2 || p3) && budget_left () then fixpoint ()
   in
   fixpoint ();
   (!current, { execs = !execs; kept = !kept })

@@ -8,8 +8,9 @@ type t = {
 }
 
 (* Bump whenever [t] (or [Scenario.t]) changes shape — the container then
-   rejects stale files cleanly instead of decoding garbage. *)
-let version = 1
+   rejects stale files cleanly instead of decoding garbage.
+   v2: [Scenario.t] gained the [churn] field. *)
+let version = 2
 
 (* Discriminates fuzz traces from other users of the same container format
    (the explorer's checkpoints): checked before the payload is trusted. *)

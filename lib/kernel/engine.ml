@@ -5,6 +5,7 @@ module Make (P : Protocol.S) = struct
     time : int;
     activated : int list;
     returned : (int * P.output) list;
+    resets : (int * int) list;
   }
 
   type t = {
@@ -112,8 +113,34 @@ module Make (P : Protocol.S) = struct
   let finish_step t set returned =
     if t.record_trace then
       t.trace <-
-        { time = t.time; activated = set; returned = List.rev !returned } :: t.trace;
+        { time = t.time; activated = set; returned = List.rev !returned; resets = [] }
+        :: t.trace;
     match t.monitor with None -> () | Some f -> f t
+
+  (* Recovery event (the dynamic-model extension): the process on node [p]
+     leaves the execution and a brand-new one takes its place — asleep,
+     holding input identifier [ident], its register back to [⊥].  Freshness
+     of [ident] with respect to the live identifiers is the caller's
+     contract (see [Asyncolor_workload.Idents.fresh]); the engine only
+     installs it.  Neighbours observe the change through their next
+     register read, exactly as they observe a first write.  The activation
+     counter restarts, so wait-freedom bounds are per incarnation. *)
+  let reset t p ~ident =
+    let n = n t in
+    if p < 0 || p >= n then
+      invalid_arg
+        (Printf.sprintf "Engine.reset: process index %d out of range [0, %d)" p
+           n);
+    t.idents.(p) <- ident;
+    t.states.(p) <- None;
+    t.status.(p) <- Status.Asleep;
+    t.public.(p) <- None;
+    t.activations.(p) <- 0;
+    t.unfinished_cache <- None;
+    if t.record_trace then
+      t.trace <-
+        { time = t.time; activated = []; returned = []; resets = [ (p, ident) ] }
+        :: t.trace
 
   let activate t set =
     (* Validate before any mutation: a bad index must leave the engine
@@ -172,11 +199,10 @@ module Make (P : Protocol.S) = struct
   let pp_spacetime ppf t =
     let n = n t in
     let events = List.rev t.trace in
-    let returned_at = Array.make n max_int in
-    List.iter
-      (fun (e : event) ->
-        List.iter (fun (p, _) -> returned_at.(p) <- e.time) e.returned)
-      events;
+    (* Walked chronologically so recovery is renderable: a process can
+       return, be reset ([+]) and work again — a static "returned at"
+       table cannot express that. *)
+    let done_ = Array.make n false in
     Format.fprintf ppf "@[<v> t\\p ";
     for p = 0 to n - 1 do
       Format.fprintf ppf "%d" (p mod 10)
@@ -186,13 +212,16 @@ module Make (P : Protocol.S) = struct
         Format.fprintf ppf "@,%4d " e.time;
         for p = 0 to n - 1 do
           let c =
-            if List.mem_assoc p e.returned then 'R'
-            else if returned_at.(p) < e.time then '_'
+            if List.mem_assoc p e.resets then '+'
+            else if List.mem_assoc p e.returned then 'R'
+            else if done_.(p) then '_'
             else if List.mem p e.activated then '#'
             else '.'
           in
           Format.pp_print_char ppf c
-        done)
+        done;
+        List.iter (fun (p, _) -> done_.(p) <- true) e.returned;
+        List.iter (fun (p, _) -> done_.(p) <- false) e.resets)
       events;
     Format.fprintf ppf "@]"
 

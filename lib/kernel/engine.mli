@@ -21,6 +21,9 @@ module Make (P : Protocol.S) : sig
     time : int;
     activated : int list;  (** the working processes that actually took a round *)
     returned : (int * P.output) list;  (** processes whose stopping condition fired *)
+    resets : (int * int) list;
+        (** recovery events [(p, fresh_ident)] recorded by {!reset};
+            empty for every [activate] step *)
   }
 
   val create : ?record_trace:bool -> Asyncolor_topology.Graph.t -> idents:int array -> t
@@ -81,6 +84,28 @@ module Make (P : Protocol.S) : sig
   val unfinished_mask : t -> int
   (** {!unfinished} as a bitmask.  @raise Invalid_argument when
       [n t > Sys.int_size - 1]. *)
+
+  val reset : t -> int -> ident:int -> unit
+  (** [reset t p ~ident] is the {e recovery event} of the dynamic model
+      (the churn layer's kernel primitive): the process on node [p] —
+      crashed, returned or still working — is replaced by a brand-new one
+      that holds input identifier [ident], sits asleep in its initial
+      state, and whose register reads as [None] ([⊥]) again until its
+      first activation.  Neighbours observe the change through their
+      ordinary shared-register reads; no out-of-band signal exists.  The
+      activation counter of [p] restarts at [0], so wait-freedom bounds
+      are per incarnation.  Freshness of [ident] — no collision with the
+      identifiers of live processes — is the {e caller's} contract (use
+      {!Asyncolor_workload.Idents.fresh}); the engine installs it blindly.
+      Recorded as a {!event} with a singleton [resets] field when tracing.
+      Note that configurations snapshotted {e before} a reset still carry
+      the old incarnation: {!restore} rewinds states and registers but
+      identifiers are input data and are {e not} part of a snapshot, so
+      interleaving [reset] with snapshot/restore loops is only sound if
+      the caller replays resets in order (the churn session engine never
+      restores across a reset).
+      @raise Invalid_argument if [p] is outside [\[0, n t)], before any
+      mutation. *)
 
   val set_monitor : t -> (t -> unit) -> unit
   (** Install a callback invoked after every [activate]; used to assert

@@ -32,6 +32,20 @@ let bit_adversarial n =
       let gray = i lxor (i lsr 1) in
       (gray lsl 8) lor 0xAA)
 
+(* Fresh-identifier allocator for recovery: deterministic (smallest
+   candidate), so churn sessions replay byte-identically without having
+   to persist allocator state. *)
+let fresh ~live ~universe =
+  if universe <= 0 then invalid_arg "Idents.fresh: universe must be positive";
+  let module S = Set.Make (Int) in
+  let taken = List.fold_left (fun s x -> S.add x s) S.empty live in
+  let rec scan c =
+    if c >= universe then invalid_arg "Idents.fresh: universe exhausted"
+    else if S.mem c taken then scan (c + 1)
+    else c
+  in
+  scan 0
+
 let is_injective a =
   let module S = Set.Make (Int) in
   let s = Array.fold_left (fun s x -> S.add x s) S.empty a in

@@ -46,6 +46,16 @@ val bit_adversarial : int -> int array
     (Gray-code-like), slowing the Cole–Vishkin reduction: stresses
     experiment E9. *)
 
+val fresh : live:int list -> universe:int -> int
+(** [fresh ~live ~universe] allocates an identifier for a recovering
+    process: the smallest natural in [\[0, universe)] that collides with
+    no identifier in [live] (the identifiers of the currently live
+    processes — dead incarnations may be reused; only live collisions
+    break the model).  Deterministic, so churn sessions replay without
+    persisting allocator state.  @raise Invalid_argument when [universe]
+    is non-positive or every identifier in [\[0, universe)] is live
+    (universe exhausted). *)
+
 val longest_monotone_run : int array -> int
 (** Length (number of edges) of the longest run of consecutive positions
     around the cycle with strictly monotone identifiers; drives the

@@ -15,6 +15,10 @@ val summarize : int list -> summary
 (** @raise Invalid_argument on the empty list. *)
 
 val summarize_array : int array -> summary
+(** Same summary over an array (no intermediate list).
+    @raise Invalid_argument on the empty array — the very same
+    ["Stats.summarize: empty"] exception as {!summarize}, which delegates
+    here. *)
 
 val percentile : int array -> float -> int
 (** [percentile sorted q] with [q ∈ \[0, 1\]] by nearest-rank on a sorted

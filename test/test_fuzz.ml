@@ -176,6 +176,121 @@ let test_shrink_budget () =
   check Alcotest.bool "still failing even when cut short" true
     (Exec.fails_invariant small ~invariant:f.Fuzz.invariant)
 
+(* --- Churn dimension -------------------------------------------------- *)
+
+let churn_events_well_formed (sc : Scenario.t) =
+  let steps = Scenario.steps sc in
+  List.for_all
+    (fun (e : Scenario.churn_event) ->
+      1 <= e.crash_at && e.crash_at <= e.recover_at && e.recover_at <= steps)
+    sc.churn
+
+let test_churn_generation () =
+  (* Scenarios for a churn mutation always carry at least one event —
+     that is where those bugs live — and unmutated generation mixes
+     churn-bearing and static scenarios. *)
+  let prng = Prng.create ~seed:23 in
+  for _ = 1 to 100 do
+    let sc = Scenario.generate ~mutation:"churn-zombie" prng in
+    Scenario.validate sc;
+    check Alcotest.bool "churn mutant scenarios churn" true (sc.churn <> [])
+  done;
+  let prng = Prng.create ~seed:23 in
+  let with_churn = ref 0 and without = ref 0 in
+  for _ = 1 to 200 do
+    let sc = Scenario.generate prng in
+    if sc.churn = [] then incr without else incr with_churn
+  done;
+  check Alcotest.bool "unmutated generation mixes both" true
+    (!with_churn > 0 && !without > 0);
+  (* ... and protocol mutants stay purely static, keeping their
+     catch-rate calibration intact. *)
+  let prng = Prng.create ~seed:23 in
+  for _ = 1 to 100 do
+    let sc = Scenario.generate ~mutation:"skip-read" prng in
+    check Alcotest.bool "protocol mutants never churn" true (sc.churn = [])
+  done
+
+let churny_scenario () =
+  let prng = Prng.create ~seed:31 in
+  let rec go n =
+    if n = 0 then Alcotest.fail "no churn-bearing scenario in 500 draws"
+    else
+      let sc = Scenario.generate ~mutation:"churn-zombie" prng in
+      if List.length sc.churn >= 2 then sc else go (n - 1)
+  in
+  go 500
+
+let test_drop_churn_event_atomic () =
+  let sc = churny_scenario () in
+  let events = List.length sc.churn in
+  for i = 0 to events - 1 do
+    match Scenario.drop_churn_event sc i with
+    | None -> Alcotest.failf "event %d: in range but not dropped" i
+    | Some sc' ->
+        Scenario.validate sc';
+        check Alcotest.int "exactly one pair gone" (events - 1)
+          (List.length sc'.churn);
+        check Alcotest.bool "strictly smaller" true
+          (Scenario.weight sc' < Scenario.weight sc);
+        check Alcotest.bool "remaining pairs intact" true
+          (churn_events_well_formed sc')
+  done;
+  check Alcotest.bool "out of range" true
+    (Scenario.drop_churn_event sc events = None)
+
+let test_drop_steps_never_strands_a_crash () =
+  (* Truncating the schedule must never leave a crash without its
+     recovery: a pair whose recovery no longer fits is dropped whole. *)
+  let prng = Prng.create ~seed:37 in
+  for _ = 1 to 100 do
+    let sc = Scenario.generate ~mutation:"churn-collide" prng in
+    let steps = Scenario.steps sc in
+    List.iter
+      (fun (lo, len) ->
+        if lo < steps && len > 0 then begin
+          let len = min len (steps - lo) in
+          let sc' = Scenario.drop_steps sc ~lo ~len in
+          Scenario.validate sc';
+          check Alcotest.bool "no stranded crash" true
+            (churn_events_well_formed sc')
+        end)
+      [
+        (0, steps);
+        (0, steps / 2);
+        (steps / 2, steps - (steps / 2));
+        (steps / 3, steps / 3);
+        (0, 1);
+        (steps - 1, 1);
+      ]
+  done
+
+let churn_finding () =
+  (* First churn-zombie counterexample of the seed-7 campaign — the same
+     deterministic anchor the mutation-testing suite uses. *)
+  match Fuzz.run_one ~mutation:"churn-zombie" ~seed:7 0 with
+  | Some f -> f
+  | None -> Alcotest.fail "seed-7 exec 0 no longer finds the churn-zombie bug"
+
+let test_shrink_keeps_churn_pairs () =
+  let f = churn_finding () in
+  let sc = f.Fuzz.trace.scenario in
+  let invariant = f.Fuzz.invariant in
+  check Alcotest.string "a churn detector fired" "churn-reinit" invariant;
+  let small, _stats = Shrink.minimize sc ~invariant in
+  (* The minimum is still a valid churn scenario: ddmin worked over
+     whole crash-recovery pairs and never separated a recovery from its
+     crash. *)
+  Scenario.validate small;
+  check Alcotest.bool "pairs survive minimisation intact" true
+    (churn_events_well_formed small);
+  check Alcotest.bool "the bug needs churn, so some event survives" true
+    (small.churn <> []);
+  check Alcotest.bool "shrunk still fails the same churn detector" true
+    (Exec.fails_invariant small ~invariant);
+  check Alcotest.bool "no larger than the original" true
+    (Scenario.size small <= Scenario.size sc)
+
 (* --- Campaigns ------------------------------------------------------- *)
 
 let finding_summary (f : Fuzz.finding) =
@@ -237,6 +352,8 @@ let expected_invariant = function
   | "skip-read" | "guard-always" -> "proper"
   | "guard-never" -> "activation-bound"
   | "palette-off-by-one" -> "palette"
+  | "churn-zombie" -> "churn-reinit"
+  | "churn-collide" -> "churn-fresh-ident"
   | m -> Alcotest.failf "unexpected mutant %s" m
 
 let test_mutants_caught () =
@@ -290,6 +407,17 @@ let () =
           Alcotest.test_case "minimum still fails, deterministically" `Quick
             test_shrink_preserves_failure;
           Alcotest.test_case "exec budget is honoured" `Quick test_shrink_budget;
+        ] );
+      ( "churn",
+        [
+          Alcotest.test_case "generation respects the churn dimension" `Quick
+            test_churn_generation;
+          Alcotest.test_case "drop_churn_event is pair-atomic" `Quick
+            test_drop_churn_event_atomic;
+          Alcotest.test_case "drop_steps never strands a crash" `Quick
+            test_drop_steps_never_strands_a_crash;
+          Alcotest.test_case "minimisation keeps pairs intact" `Quick
+            test_shrink_keeps_churn_pairs;
         ] );
       ( "campaign",
         [

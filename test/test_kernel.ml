@@ -448,6 +448,55 @@ let test_adv_random_subsets_nonempty () =
     | Some l -> List.iter (fun p -> check Alcotest.bool "member" true (List.mem p unfinished5)) l
   done
 
+(* --- recovery events (reset) ----------------------------------------- *)
+
+let test_reset_fresh_incarnation () =
+  let e = mk () in
+  (* Run p0 to return (ttl = 3), then recover it: the node must be
+     observably a brand-new process. *)
+  E3.activate e [ 0 ];
+  E3.activate e [ 0 ];
+  E3.activate e [ 0 ];
+  check Alcotest.bool "returned" true (Status.is_returned (E3.status e 0));
+  E3.reset e 0 ~ident:99;
+  check Alcotest.bool "asleep again" true (Status.is_asleep (E3.status e 0));
+  check Alcotest.bool "register back to ⊥" true (E3.public e 0 = None);
+  check Alcotest.int "activation counter restarted" 0 (E3.activations e 0);
+  check Alcotest.int "fresh identifier installed" 99 (E3.ident e 0);
+  check Alcotest.(list int) "unfinished again" [ 0; 1; 2 ] (E3.unfinished e);
+  (* The new incarnation starts from its initial state under the new
+     identifier, not from the old incarnation's history. *)
+  E3.activate e [ 0 ];
+  let s = E3.state e 0 in
+  check Alcotest.int "new incarnation's ident" 99 s.P3.ident;
+  check Alcotest.int "fresh view history" 1 (List.length s.P3.views)
+
+let test_reset_mid_flight_and_bounds () =
+  let e = mk () in
+  E3.activate e [ 1 ];
+  (* Resetting a working (not returned) process is allowed: crash and
+     recovery need not wait for a return. *)
+  E3.reset e 1 ~ident:42;
+  check Alcotest.bool "asleep" true (Status.is_asleep (E3.status e 1));
+  check Alcotest.int "counter restarted" 0 (E3.activations e 1);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Engine.reset: process index 3 out of range [0, 3)")
+    (fun () -> E3.reset e 3 ~ident:0)
+
+let test_reset_traced () =
+  let e = E3.create ~record_trace:true (Builders.cycle 3) ~idents:idents3 in
+  E3.activate e [ 0 ];
+  E3.reset e 0 ~ident:77;
+  let ev =
+    match List.rev (E3.trace e) with
+    | ev :: _ -> ev
+    | [] -> Alcotest.fail "empty trace"
+  in
+  check
+    Alcotest.(list (pair int int))
+    "reset recorded" [ (0, 77) ] ev.E3.resets;
+  check Alcotest.(list int) "no activation in a reset event" [] ev.E3.activated
+
 let test_adv_crash () =
   let adv = Adversary.crash ~at:3 ~procs:[ 0; 1 ] Adversary.synchronous in
   check
@@ -462,6 +511,53 @@ let test_adv_crash () =
     Alcotest.(option (list int))
     "only crashed left -> stop" None
     (adv.next ~time:5 ~unfinished:[ 0; 1 ])
+
+let test_adv_outages () =
+  (* Window (1, 2, 4): p1 is invisible to the inner adversary at times 2
+     and 3 and eligible again from 4 — the schedule-side half of a
+     crash/recover pair (Engine.reset is the engine-side half). *)
+  let adv = Adversary.outages ~windows:[ (1, 2, 4) ] Adversary.synchronous in
+  check
+    Alcotest.(option (list int))
+    "before the window: everyone" (Some unfinished5)
+    (adv.next ~time:1 ~unfinished:unfinished5);
+  check
+    Alcotest.(option (list int))
+    "inside: p1 hidden"
+    (Some [ 0; 2; 3; 4 ])
+    (adv.next ~time:2 ~unfinished:unfinished5);
+  check
+    Alcotest.(option (list int))
+    "still inside at 3"
+    (Some [ 0; 2; 3; 4 ])
+    (adv.next ~time:3 ~unfinished:unfinished5);
+  check
+    Alcotest.(option (list int))
+    "eligible again from until" (Some unfinished5)
+    (adv.next ~time:4 ~unfinished:unfinished5);
+  check
+    Alcotest.(option (list int))
+    "only down nodes left -> pause" None
+    (adv.next ~time:2 ~unfinished:[ 1 ])
+
+let prop_outages_never_activates_down =
+  QCheck.Test.make ~name:"outages: no activation inside a window" ~count:200
+    QCheck.(
+      triple (int_range 0 4)
+        (pair (int_range 1 10) (int_range 0 10))
+        (int_range 0 1000))
+    (fun (p, (from_, len), seed) ->
+      let until_ = from_ + len in
+      let inner = Adversary.random_subsets (Prng.create ~seed) ~p:0.6 in
+      let adv = Adversary.outages ~windows:[ (p, from_, until_) ] inner in
+      let ok = ref true in
+      for time = 1 to until_ + 5 do
+        match adv.next ~time ~unfinished:unfinished5 with
+        | None -> ()
+        | Some set ->
+            if time >= from_ && time < until_ && List.mem p set then ok := false
+      done;
+      !ok)
 
 let test_adv_finite () =
   let adv = Adversary.finite [ [ 1 ]; [ 2; 3 ] ] in
@@ -631,6 +727,11 @@ let () =
           Alcotest.test_case "trace" `Quick test_trace_recording;
           Alcotest.test_case "spacetime diagram" `Quick test_spacetime_rendering;
           Alcotest.test_case "idents mismatch" `Quick test_idents_length_mismatch;
+          Alcotest.test_case "reset: fresh incarnation" `Quick
+            test_reset_fresh_incarnation;
+          Alcotest.test_case "reset: mid-flight + bounds" `Quick
+            test_reset_mid_flight_and_bounds;
+          Alcotest.test_case "reset: traced" `Quick test_reset_traced;
         ] );
       ( "snapshots",
         [
@@ -659,6 +760,8 @@ let () =
           Alcotest.test_case "random subsets nonempty" `Quick
             test_adv_random_subsets_nonempty;
           Alcotest.test_case "crash" `Quick test_adv_crash;
+          Alcotest.test_case "outages" `Quick test_adv_outages;
+          qtest prop_outages_never_activates_down;
           Alcotest.test_case "finite" `Quick test_adv_finite;
           Alcotest.test_case "eager then lazy" `Quick test_adv_eager_then_lazy;
           Alcotest.test_case "isolate pair" `Quick test_adv_isolate_pair;

@@ -49,6 +49,33 @@ let test_bit_adversarial () =
   let ids = Idents.bit_adversarial 32 in
   check Alcotest.bool "injective" true (Idents.is_injective ids)
 
+let test_fresh () =
+  (* Smallest non-live natural; dead incarnations' identifiers may be
+     reused, so only the live set matters. *)
+  check Alcotest.int "fills the first gap" 2
+    (Idents.fresh ~live:[ 0; 1; 3 ] ~universe:8);
+  check Alcotest.int "zero when free" 0 (Idents.fresh ~live:[ 5; 7 ] ~universe:8);
+  check Alcotest.int "empty live set" 0 (Idents.fresh ~live:[] ~universe:1);
+  Alcotest.check_raises "exhausted"
+    (Invalid_argument "Idents.fresh: universe exhausted") (fun () ->
+      ignore (Idents.fresh ~live:[ 0; 1; 2 ] ~universe:3));
+  Alcotest.check_raises "non-positive universe"
+    (Invalid_argument "Idents.fresh: universe must be positive") (fun () ->
+      ignore (Idents.fresh ~live:[] ~universe:0))
+
+let prop_fresh_no_collision =
+  QCheck.Test.make
+    ~name:"fresh never collides with a live identifier and stays in range"
+    ~count:500
+    QCheck.(pair (list_of_size (Gen.int_range 0 30) (int_range 0 40)) (int_range 1 64))
+    (fun (live, universe) ->
+      let distinct_live =
+        List.sort_uniq compare (List.filter (fun i -> i < universe) live)
+      in
+      QCheck.assume (List.length distinct_live < universe);
+      let id = Idents.fresh ~live ~universe in
+      id >= 0 && id < universe && not (List.mem id live))
+
 let test_longest_monotone_run () =
   check Alcotest.int "increasing ring 0..4" 4
     (Idents.longest_monotone_run (Idents.increasing 5));
@@ -85,6 +112,30 @@ let test_summarize_singleton () =
 let test_summarize_empty () =
   Alcotest.check_raises "empty" (Invalid_argument "Stats.summarize: empty") (fun () ->
       ignore (Stats.summarize []))
+
+let test_summarize_array () =
+  (* The array and list entry points must agree — summarize delegates. *)
+  let l = [ 4; 1; 3; 2; 5 ] in
+  check Alcotest.bool "agrees with summarize" true
+    (Stats.summarize l = Stats.summarize_array (Array.of_list l));
+  (* ... including raising the very same exception on empty input. *)
+  Alcotest.check_raises "empty array" (Invalid_argument "Stats.summarize: empty")
+    (fun () -> ignore (Stats.summarize_array [||]))
+
+let prop_summarize_array_agrees =
+  QCheck.Test.make ~name:"summarize_array = summarize on any sample" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 80) (int_range (-1000) 1000))
+    (fun l -> Stats.summarize l = Stats.summarize_array (Array.of_list l))
+
+let prop_percentiles_ordered =
+  QCheck.Test.make ~name:"min <= p50 <= p95 <= p99 <= max, min <= mean <= max"
+    ~count:500
+    QCheck.(list_of_size (Gen.int_range 1 100) (int_range (-10_000) 10_000))
+    (fun l ->
+      let s = Stats.summarize_array (Array.of_list l) in
+      s.min <= s.p50 && s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max
+      && float_of_int s.min <= s.mean
+      && s.mean <= float_of_int s.max)
 
 let test_percentile () =
   let sorted = [| 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 |] in
@@ -152,6 +203,8 @@ let () =
           Alcotest.test_case "random permutation" `Quick test_random_permutation;
           Alcotest.test_case "random sparse" `Quick test_random_sparse;
           Alcotest.test_case "bit adversarial" `Quick test_bit_adversarial;
+          Alcotest.test_case "fresh" `Quick test_fresh;
+          qtest prop_fresh_no_collision;
           Alcotest.test_case "longest monotone run" `Quick test_longest_monotone_run;
           qtest prop_monotone_run_bounds;
         ] );
@@ -160,6 +213,9 @@ let () =
           Alcotest.test_case "summarize" `Quick test_summarize;
           Alcotest.test_case "singleton" `Quick test_summarize_singleton;
           Alcotest.test_case "empty" `Quick test_summarize_empty;
+          Alcotest.test_case "summarize_array" `Quick test_summarize_array;
+          qtest prop_summarize_array_agrees;
+          qtest prop_percentiles_ordered;
           Alcotest.test_case "percentile" `Quick test_percentile;
           Alcotest.test_case "linear fit exact" `Quick test_linear_fit_exact;
           Alcotest.test_case "linear fit errors" `Quick test_linear_fit_errors;
